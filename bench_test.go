@@ -1,0 +1,250 @@
+// Benchmarks regenerating the paper's evaluation artifacts — one bench per
+// table and figure (run them with -v to see the regenerated rows) — plus
+// ablation benches for the design choices called out in DESIGN.md §6.
+//
+// The figure benches run the experiment harness at a reduced problem scale
+// and application subset so `go test -bench=.` completes in minutes; use
+// cmd/sweep for the full-size runs recorded in EXPERIMENTS.md.
+package swiftsim
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"swiftsim/internal/config"
+	"swiftsim/internal/experiments"
+	"swiftsim/internal/sim"
+	"swiftsim/internal/workload"
+)
+
+// benchParams returns a reduced-cost experiment parameterization for
+// benchmarking; `go test -short` shrinks it further.
+func benchParams(b *testing.B) experiments.Params {
+	p := experiments.Params{
+		Apps:  []string{"BFS", "HOTSPOT", "NW", "GEMM", "ADI", "SM", "GRU", "PAGERANK"},
+		Scale: 0.4,
+	}
+	if testing.Short() {
+		p.Apps = p.Apps[:3]
+		p.Scale = 0.15
+		p.GPU = config.RTX2080Ti()
+		p.GPU.NumSMs = 8
+		p.GPU.MemPartitions = 4
+	}
+	return p
+}
+
+// BenchmarkTable1 regenerates Table I (three-GPU comparison).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table1(os.Stderr)
+	}
+}
+
+// BenchmarkTable2 regenerates Table II (RTX 2080 Ti configuration).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table2(os.Stderr)
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4: per-application prediction error
+// of the three simulators against the golden hardware reference, plus
+// single-thread speedups over the detailed baseline.
+func BenchmarkFigure4(b *testing.B) {
+	p := benchParams(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure4(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			res.Print(os.Stderr)
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates Figure 5: the speedup contribution
+// analysis (analytical ALU, analytical memory, parallel execution).
+func BenchmarkFigure5(b *testing.B) {
+	p := benchParams(b)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			res.Print(os.Stderr)
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates Figure 6: prediction error of the detailed
+// simulator and Swift-Sim-Basic across the three GPU architectures.
+func BenchmarkFigure6(b *testing.B) {
+	p := benchParams(b)
+	p.Apps = p.Apps[:4] // three full GPUs per app: keep the bench bounded
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure6(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			res.Print(os.Stderr)
+		}
+	}
+}
+
+// benchGPU returns the GPU used by the ablation benches.
+func benchGPU() config.GPU {
+	g := config.RTX2080Ti()
+	g.NumSMs = 16
+	g.MemPartitions = 8
+	return g
+}
+
+func runOnce(b *testing.B, app string, scale float64, gpu config.GPU, opts sim.Options) uint64 {
+	b.Helper()
+	w, err := workload.Generate(app, scale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := sim.Run(w, gpu, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Cycles
+}
+
+// BenchmarkAblationScheduler sweeps the warp-scheduler policy (the
+// module the paper's working example keeps cycle-accurate for design
+// exploration).
+func BenchmarkAblationScheduler(b *testing.B) {
+	for _, pol := range []config.SchedPolicy{config.GTO, config.LRR, config.OldestFirst} {
+		b.Run(pol.String(), func(b *testing.B) {
+			gpu := benchGPU()
+			gpu.SM.Scheduler = pol
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				cycles = runOnce(b, "BFS", 0.3, gpu, sim.Options{Kind: sim.Memory})
+			}
+			b.ReportMetric(float64(cycles), "gpu-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationReplacement sweeps the L1 replacement policy — the
+// flexibility the paper contrasts against LRU-only analytical cache
+// models.
+func BenchmarkAblationReplacement(b *testing.B) {
+	for _, rep := range []config.Replacement{config.LRU, config.FIFO, config.Random} {
+		b.Run(rep.String(), func(b *testing.B) {
+			gpu := benchGPU()
+			gpu.L1.Replacement = rep
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				cycles = runOnce(b, "SRAD", 0.3, gpu, sim.Options{Kind: sim.Basic})
+			}
+			b.ReportMetric(float64(cycles), "gpu-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationHitRateSource compares Swift-Sim-Memory with hit rates
+// from the functional cache simulator vs reuse-distance theory.
+func BenchmarkAblationHitRateSource(b *testing.B) {
+	for _, src := range []struct {
+		name string
+		s    sim.HitRateSource
+	}{{"FunctionalCaches", sim.FunctionalCaches}, {"ReuseDistance", sim.ReuseDistance}} {
+		b.Run(src.name, func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				cycles = runOnce(b, "MVT", 0.3, benchGPU(),
+					sim.Options{Kind: sim.Memory, HitRates: src.s})
+			}
+			b.ReportMetric(float64(cycles), "gpu-cycles")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed
+// (instructions per second) of the three configurations on one workload —
+// the per-app speedup substrate of Figure 4's scatter plot.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	app, err := workload.Generate("SM", 0.4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, kind := range []sim.Kind{sim.Detailed, sim.Basic, sim.Memory} {
+		b.Run(kind.String(), func(b *testing.B) {
+			gpu := benchGPU()
+			var insts uint64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(app, gpu, sim.Options{Kind: kind})
+				if err != nil {
+					b.Fatal(err)
+				}
+				insts = res.Instructions
+			}
+			b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds(), "warp-insts/s")
+		})
+	}
+}
+
+// BenchmarkAblationTopology swaps the interconnect module between crossbar
+// and ring — the NoC-exploration flexibility the paper contrasts against
+// queueing-model NoCs.
+func BenchmarkAblationTopology(b *testing.B) {
+	for _, topo := range []string{"crossbar", "ring"} {
+		b.Run(topo, func(b *testing.B) {
+			gpu := benchGPU()
+			gpu.NoCTopology = topo
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				cycles = runOnce(b, "SM", 0.3, gpu, sim.Options{Kind: sim.Detailed})
+			}
+			b.ReportMetric(float64(cycles), "gpu-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationHybridDepth compares the four hybridization depths on
+// one workload: how much speed each additional analytical module buys.
+func BenchmarkAblationHybridDepth(b *testing.B) {
+	for _, kind := range []sim.Kind{sim.Detailed, sim.Basic, sim.L2Hybrid, sim.Memory} {
+		b.Run(kind.String(), func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				cycles = runOnce(b, "GRU", 0.3, benchGPU(), sim.Options{Kind: kind})
+			}
+			b.ReportMetric(float64(cycles), "gpu-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationSampling measures wave-aware block sampling: simulated
+// work shrinks with the sampling fraction while extrapolated cycles stay
+// in band.
+func BenchmarkAblationSampling(b *testing.B) {
+	for _, frac := range []float64{0, 0.5, 0.25} {
+		name := "full"
+		if frac > 0 {
+			name = fmt.Sprintf("frac%.2f", frac)
+		}
+		b.Run(name, func(b *testing.B) {
+			// A small GPU so the workload spans several waves and
+			// sampling has blocks to skip.
+			gpu := benchGPU()
+			gpu.NumSMs = 4
+			gpu.MemPartitions = 2
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				cycles = runOnce(b, "SM", 2, gpu,
+					sim.Options{Kind: sim.Basic, SampleBlocks: frac})
+			}
+			b.ReportMetric(float64(cycles), "gpu-cycles")
+		})
+	}
+}

@@ -1,0 +1,75 @@
+// Command sweep regenerates the paper's evaluation artifacts: Table I,
+// Table II, Figure 4 (error + speedup on the RTX 2080 Ti), Figure 5
+// (speedup contribution analysis) and Figure 6 (error across three GPUs).
+//
+// Usage:
+//
+//	sweep -exp fig4 [-scale 1.0] [-apps BFS,NW,GRU] [-threads 8]
+//	sweep -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"swiftsim/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|all")
+	scale := flag.Float64("scale", 1.0, "workload problem scale")
+	apps := flag.String("apps", "", "comma-separated application subset (default: all 20)")
+	threads := flag.Int("threads", 0, "parallel workers for fig5 (0 = NumCPU)")
+	flag.Parse()
+
+	p := experiments.Params{Scale: *scale, Threads: *threads}
+	if *apps != "" {
+		p.Apps = strings.Split(*apps, ",")
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "table1":
+			experiments.Table1(os.Stdout)
+		case "table2":
+			experiments.Table2(os.Stdout)
+		case "fig4":
+			res, err := experiments.Figure4(p)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+		case "fig5":
+			res, err := experiments.Figure5(p)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+		case "fig6":
+			res, err := experiments.Figure6(p)
+			if err != nil {
+				return err
+			}
+			res.Print(os.Stdout)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table1", "table2", "fig4", "fig5", "fig6"}
+	}
+	for i, name := range names {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := run(name); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Command swiftsim simulates one GPU application and prints the gathered
+// performance metrics.
+//
+// The application comes either from a .sgt trace file (-trace) or from the
+// bundled synthetic workload catalog (-app, -scale). The hardware
+// configuration comes from a preset (-gpu) or a configuration file
+// (-config); the simulator configuration from -sim.
+//
+// Examples:
+//
+//	swiftsim -app BFS -sim memory
+//	swiftsim -trace run.sgt -config mygpu.cfg -sim detailed -metrics
+//	swiftsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"swiftsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "swiftsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	appName := flag.String("app", "", "bundled workload name (see -list)")
+	scale := flag.Float64("scale", 1.0, "workload problem scale")
+	tracePath := flag.String("trace", "", ".sgt trace file to simulate instead of -app")
+	gpuName := flag.String("gpu", "RTX2080Ti", "GPU preset: RTX2080Ti|RTX3060|RTX3090")
+	cfgPath := flag.String("config", "", "hardware configuration file (overrides -gpu)")
+	simName := flag.String("sim", "detailed", "simulator: detailed|basic|memory|l2")
+	hitSrc := flag.String("hitrates", "functional", "memory-model hit-rate source: functional|reuse")
+	sample := flag.Float64("sample", 0, "block-sampling fraction in (0,1); 0 = full simulation")
+	showMetrics := flag.Bool("metrics", false, "print the full Metrics Gatherer report")
+	list := flag.Bool("list", false, "list bundled workloads and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-12s %-10s %-4s %s\n", "NAME", "SUITE", "MEM", "DESCRIPTION")
+		for _, wi := range swiftsim.WorkloadCatalog() {
+			mem := ""
+			if wi.MemoryBound {
+				mem = "yes"
+			}
+			fmt.Printf("%-12s %-10s %-4s %s\n", wi.Name, wi.Suite, mem, wi.Description)
+		}
+		return nil
+	}
+
+	var gpu swiftsim.GPU
+	if *cfgPath != "" {
+		var err error
+		if gpu, err = swiftsim.LoadGPU(*cfgPath); err != nil {
+			return err
+		}
+	} else {
+		var ok bool
+		if gpu, ok = swiftsim.GPUPreset(*gpuName); !ok {
+			return fmt.Errorf("unknown GPU preset %q", *gpuName)
+		}
+	}
+
+	var app *swiftsim.App
+	var err error
+	switch {
+	case *tracePath != "":
+		app, err = swiftsim.ReadTrace(*tracePath)
+	case *appName != "":
+		app, err = swiftsim.GenerateWorkload(*appName, *scale)
+	default:
+		return fmt.Errorf("one of -app or -trace is required (or -list)")
+	}
+	if err != nil {
+		return err
+	}
+
+	cfg := swiftsim.Config{SampleBlocks: *sample}
+	switch *simName {
+	case "detailed":
+		cfg.Simulator = swiftsim.Detailed
+	case "basic":
+		cfg.Simulator = swiftsim.SwiftSimBasic
+	case "memory":
+		cfg.Simulator = swiftsim.SwiftSimMemory
+	case "l2":
+		cfg.Simulator = swiftsim.SwiftSimL2
+	default:
+		return fmt.Errorf("unknown simulator %q (want detailed|basic|memory|l2)", *simName)
+	}
+	switch *hitSrc {
+	case "functional":
+		cfg.HitRates = swiftsim.FunctionalCaches
+	case "reuse":
+		cfg.HitRates = swiftsim.ReuseDistance
+	default:
+		return fmt.Errorf("unknown hit-rate source %q (want functional|reuse)", *hitSrc)
+	}
+
+	res, err := swiftsim.Simulate(app, gpu, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("app          %s\n", res.App)
+	fmt.Printf("gpu          %s\n", res.GPUName)
+	fmt.Printf("simulator    %s\n", res.Kind)
+	fmt.Printf("cycles       %d\n", res.Cycles)
+	fmt.Printf("instructions %d\n", res.Instructions)
+	fmt.Printf("wall time    %s\n", res.Wall)
+	fmt.Printf("ticked       %d cycles, fast-forwarded %d\n", res.TickedCycles, res.SkippedCycles)
+	if res.Sampled {
+		fmt.Printf("sampling     block-sampled run; cycles are wave-extrapolated\n")
+	}
+	if len(res.KernelCycles) > 1 {
+		fmt.Printf("kernels      ")
+		for i, kc := range res.KernelCycles {
+			if i > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Printf("%d", kc)
+		}
+		fmt.Println()
+	}
+	if *showMetrics {
+		fmt.Println("--- metrics ---")
+		if err := swiftsim.WriteMetricsReport(os.Stdout, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}

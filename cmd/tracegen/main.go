@@ -1,0 +1,66 @@
+// Command tracegen synthesizes benchmark application traces and writes
+// them as .sgt files — the frontend path that replaces NVBit capture on
+// real hardware (traces are architecture-independent, as in the paper).
+//
+// Examples:
+//
+//	tracegen -app BFS -o bfs.sgt
+//	tracegen -all -scale 0.5 -dir traces/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"swiftsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	appName := flag.String("app", "", "workload to generate (see swiftsim -list)")
+	scale := flag.Float64("scale", 1.0, "problem scale")
+	out := flag.String("o", "", "output .sgt path (default <app>.sgt)")
+	all := flag.Bool("all", false, "generate every bundled workload")
+	dir := flag.String("dir", ".", "output directory for -all")
+	flag.Parse()
+
+	if *all {
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			return err
+		}
+		for _, name := range swiftsim.Workloads() {
+			if err := generate(name, *scale, filepath.Join(*dir, name+".sgt")); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if *appName == "" {
+		return fmt.Errorf("-app or -all is required")
+	}
+	path := *out
+	if path == "" {
+		path = *appName + ".sgt"
+	}
+	return generate(*appName, *scale, path)
+}
+
+func generate(name string, scale float64, path string) error {
+	app, err := swiftsim.GenerateWorkload(name, scale)
+	if err != nil {
+		return err
+	}
+	if err := swiftsim.WriteTrace(path, app); err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %8d instructions -> %s\n", name, app.Insts(), path)
+	return nil
+}

@@ -1,0 +1,3 @@
+module swiftsim
+
+go 1.22

@@ -1,0 +1,259 @@
+// Package cache implements Swift-Sim's sectored cache substrate: the
+// cycle-accurate banked cache module with MSHRs used by the detailed
+// simulators (L1 and L2 of Table II), pluggable replacement policies
+// (LRU/FIFO/Random — the flexibility the paper contrasts against
+// LRU-only analytical cache models), and a functional (timeless) variant
+// used to extract the per-PC hit rates consumed by the analytical memory
+// model of Eq. 1.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"swiftsim/internal/config"
+)
+
+// line is one cache line with per-sector valid and dirty bits.
+type line struct {
+	lineAddr    uint64 // addr >> lineShift; tag+index combined
+	valid       bool
+	sectorValid uint32
+	sectorDirty uint32
+	lastUse     uint64 // LRU stamp
+	fillSeq     uint64 // FIFO stamp
+}
+
+// policy selects victims and maintains recency state.
+type policy interface {
+	// touch records a hit on the line.
+	touch(l *line, clock uint64)
+	// filled records that the line was (re)allocated.
+	filled(l *line, clock uint64)
+	// victim picks the way to evict within set (all ways valid).
+	victim(set []line) int
+}
+
+type lruPolicy struct{}
+
+func (lruPolicy) touch(l *line, clock uint64)  { l.lastUse = clock }
+func (lruPolicy) filled(l *line, clock uint64) { l.lastUse = clock; l.fillSeq = clock }
+func (lruPolicy) victim(set []line) int {
+	best, bestUse := 0, set[0].lastUse
+	for i := 1; i < len(set); i++ {
+		if set[i].lastUse < bestUse {
+			best, bestUse = i, set[i].lastUse
+		}
+	}
+	return best
+}
+
+type fifoPolicy struct{}
+
+func (fifoPolicy) touch(*line, uint64)          {}
+func (fifoPolicy) filled(l *line, clock uint64) { l.fillSeq = clock }
+func (fifoPolicy) victim(set []line) int {
+	best, bestSeq := 0, set[0].fillSeq
+	for i := 1; i < len(set); i++ {
+		if set[i].fillSeq < bestSeq {
+			best, bestSeq = i, set[i].fillSeq
+		}
+	}
+	return best
+}
+
+// randomPolicy uses a deterministic xorshift64 stream so simulations are
+// reproducible run to run.
+type randomPolicy struct {
+	state uint64
+}
+
+func (randomPolicy) touch(*line, uint64)  {}
+func (randomPolicy) filled(*line, uint64) {}
+func (p *randomPolicy) victim(set []line) int {
+	p.state ^= p.state << 13
+	p.state ^= p.state >> 7
+	p.state ^= p.state << 17
+	return int(p.state % uint64(len(set)))
+}
+
+func newPolicy(r config.Replacement) policy {
+	switch r {
+	case config.FIFO:
+		return fifoPolicy{}
+	case config.Random:
+		return &randomPolicy{state: 0x9e3779b97f4a7c15}
+	default:
+		return lruPolicy{}
+	}
+}
+
+// tags is the sectored tag array shared by the timed and functional caches.
+type tags struct {
+	cfg            config.Cache
+	lineShift      uint
+	sectorShift    uint
+	setMask        uint64
+	sectorsPerLine int
+	lines          []line // sets × ways
+	pol            policy
+	clock          uint64
+}
+
+func newTags(cfg config.Cache) *tags {
+	return &tags{
+		cfg:            cfg,
+		lineShift:      uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		sectorShift:    uint(bits.TrailingZeros(uint(cfg.SectorBytes))),
+		setMask:        uint64(cfg.Sets - 1),
+		sectorsPerLine: cfg.SectorsPerLine(),
+		lines:          make([]line, cfg.Sets*cfg.Ways),
+		pol:            newPolicy(cfg.Replacement),
+	}
+}
+
+func (t *tags) lineAddr(addr uint64) uint64 { return addr >> t.lineShift }
+func (t *tags) setIndex(addr uint64) int    { return int((addr >> t.lineShift) & t.setMask) }
+func (t *tags) sector(addr uint64) uint     { return uint(addr>>t.sectorShift) & uint(t.sectorsPerLine-1) }
+
+func (t *tags) set(addr uint64) []line {
+	si := t.setIndex(addr)
+	return t.lines[si*t.cfg.Ways : (si+1)*t.cfg.Ways]
+}
+
+// find returns the line holding addr, or nil.
+func (t *tags) find(addr uint64) *line {
+	la := t.lineAddr(addr)
+	set := t.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].lineAddr == la {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// lookup probes for addr's sector. It returns the line (if the line is
+// present at all) and whether the requested sector is valid.
+func (t *tags) lookup(addr uint64) (l *line, sectorHit bool) {
+	l = t.find(addr)
+	if l == nil {
+		return nil, false
+	}
+	t.clock++
+	t.pol.touch(l, t.clock)
+	return l, l.sectorValid&(1<<t.sector(addr)) != 0
+}
+
+// evicted describes a line displaced by install.
+type evicted struct {
+	lineAddr    uint64
+	dirtySector uint32 // per-sector dirty mask at eviction
+	wasValid    bool
+}
+
+// install makes room for addr's line (if absent) and marks the addressed
+// sector valid. It returns the displaced line, whose dirty sectors the
+// caller must write back for write-back caches.
+func (t *tags) install(addr uint64) evicted {
+	la := t.lineAddr(addr)
+	set := t.set(addr)
+	t.clock++
+
+	// Line already present: just validate the sector.
+	for i := range set {
+		if set[i].valid && set[i].lineAddr == la {
+			set[i].sectorValid |= 1 << t.sector(addr)
+			t.pol.touch(&set[i], t.clock)
+			return evicted{}
+		}
+	}
+	// Prefer an invalid way.
+	way := -1
+	for i := range set {
+		if !set[i].valid {
+			way = i
+			break
+		}
+	}
+	var ev evicted
+	if way < 0 {
+		way = t.pol.victim(set)
+		v := &set[way]
+		ev = evicted{lineAddr: v.lineAddr, dirtySector: v.sectorDirty, wasValid: true}
+	}
+	set[way] = line{lineAddr: la, valid: true, sectorValid: 1 << t.sector(addr)}
+	t.pol.filled(&set[way], t.clock)
+	return ev
+}
+
+// invalidateAll drops every line (kernel-boundary L1 invalidation; GPU L1s
+// are not coherent and are flushed between kernels). Write-through caches
+// hold no dirty data, so no writebacks are needed.
+func (t *tags) invalidateAll() {
+	for i := range t.lines {
+		t.lines[i] = line{}
+	}
+}
+
+// markDirty sets the dirty bit of addr's sector; the line and sector must
+// be present.
+func (t *tags) markDirty(addr uint64) {
+	if l := t.find(addr); l != nil {
+		l.sectorDirty |= 1 << t.sector(addr)
+	}
+}
+
+// Functional is a timeless sectored cache: it reports hit/miss per access
+// without modeling latency, banking or MSHRs. The analytical memory model
+// uses it (or the reuse-distance profiler) to obtain the hit rates of
+// Eq. 1; tests use it as a reference model for the timed cache.
+type Functional struct {
+	t        *tags
+	Accesses uint64
+	Hits     uint64
+}
+
+// NewFunctional returns a functional cache with the given geometry. The
+// configuration must be valid per config.GPU.Validate rules.
+func NewFunctional(cfg config.Cache) *Functional {
+	return &Functional{t: newTags(cfg)}
+}
+
+// Access simulates one sector access and reports whether it hit. Misses
+// install the sector (write-allocate; for write-through L1s the caller
+// decides whether to count store hits).
+func (f *Functional) Access(addr uint64, write bool) bool {
+	f.Accesses++
+	_, hit := f.t.lookup(addr)
+	if hit {
+		f.Hits++
+	} else {
+		f.t.install(addr)
+	}
+	if write {
+		f.t.markDirty(addr)
+	}
+	return hit
+}
+
+// HitRate returns the fraction of accesses that hit.
+func (f *Functional) HitRate() float64 {
+	if f.Accesses == 0 {
+		return 0
+	}
+	return float64(f.Hits) / float64(f.Accesses)
+}
+
+// Reset clears all cache state and statistics.
+func (f *Functional) Reset() {
+	for i := range f.t.lines {
+		f.t.lines[i] = line{}
+	}
+	f.Accesses, f.Hits = 0, 0
+}
+
+func (f *Functional) String() string {
+	return fmt.Sprintf("functional cache %d sets × %d ways, %.2f%% hit",
+		f.t.cfg.Sets, f.t.cfg.Ways, 100*f.HitRate())
+}

@@ -1,0 +1,120 @@
+package cache
+
+import "swiftsim/internal/mem"
+
+// mshrWaiter is one request parked on an MSHR entry, waiting for its
+// sector to arrive.
+type mshrWaiter struct {
+	req    *mem.Request
+	sector uint
+}
+
+// mshrEntry tracks all outstanding misses to one cache line. Sectors are
+// requested downstream individually; requests to an already-pending sector
+// merge without new downstream traffic (Table II: "8 maximum merge / MSHR").
+type mshrEntry struct {
+	lineAddr       uint64
+	sectorsPending uint32
+	waiters        []mshrWaiter
+	merged         int // total requests attached, bounded by maxMerge
+}
+
+// mshrTable is a fully associative miss-status holding register file keyed
+// by line address.
+type mshrTable struct {
+	entries  map[uint64]*mshrEntry
+	capacity int
+	maxMerge int
+}
+
+func newMSHR(entries, maxMerge int) *mshrTable {
+	return &mshrTable{
+		entries:  make(map[uint64]*mshrEntry, entries),
+		capacity: entries,
+		maxMerge: maxMerge,
+	}
+}
+
+// mshrOutcome reports how lookup/allocate resolved a miss.
+type mshrOutcome int
+
+const (
+	// mshrStall: no entry available or merge limit reached; the request
+	// must retry.
+	mshrStall mshrOutcome = iota
+	// mshrMerged: attached to an existing entry with the sector already
+	// in flight; no downstream request needed.
+	mshrMerged
+	// mshrNewSector: attached to an existing entry but this sector must
+	// be fetched downstream.
+	mshrNewSector
+	// mshrNewEntry: a fresh entry was allocated; the sector must be
+	// fetched downstream.
+	mshrNewEntry
+)
+
+// add registers a missing request. lineAddr and sector identify the target;
+// the caller issues a downstream fetch for outcomes mshrNewSector and
+// mshrNewEntry.
+func (m *mshrTable) add(lineAddr uint64, sector uint, req *mem.Request) mshrOutcome {
+	if e, ok := m.entries[lineAddr]; ok {
+		if e.merged >= m.maxMerge {
+			return mshrStall
+		}
+		e.merged++
+		e.waiters = append(e.waiters, mshrWaiter{req: req, sector: sector})
+		if e.sectorsPending&(1<<sector) != 0 {
+			return mshrMerged
+		}
+		e.sectorsPending |= 1 << sector
+		return mshrNewSector
+	}
+	if len(m.entries) >= m.capacity {
+		return mshrStall
+	}
+	m.entries[lineAddr] = &mshrEntry{
+		lineAddr:       lineAddr,
+		sectorsPending: 1 << sector,
+		waiters:        []mshrWaiter{{req: req, sector: sector}},
+		merged:         1,
+	}
+	return mshrNewEntry
+}
+
+// fill resolves the arrival of one sector. It returns the requests that
+// were waiting on that sector and removes the entry once all sectors have
+// arrived.
+func (m *mshrTable) fill(lineAddr uint64, sector uint) []*mem.Request {
+	e, ok := m.entries[lineAddr]
+	if !ok {
+		return nil
+	}
+	var done []*mem.Request
+	remaining := e.waiters[:0]
+	for _, w := range e.waiters {
+		if w.sector == sector {
+			done = append(done, w.req)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	e.waiters = remaining
+	e.sectorsPending &^= 1 << sector
+	if e.sectorsPending == 0 {
+		delete(m.entries, lineAddr)
+	}
+	return done
+}
+
+// used returns the number of live entries.
+func (m *mshrTable) used() int { return len(m.entries) }
+
+// pendingWaiters returns the total number of parked requests (used by
+// Busy() and by invariants in tests).
+func (m *mshrTable) pendingWaiters() int {
+	n := 0
+	for _, e := range m.entries {
+		n += len(e.waiters)
+	}
+	return n
+}

@@ -1,0 +1,273 @@
+package cache
+
+import (
+	"fmt"
+
+	"swiftsim/internal/config"
+	"swiftsim/internal/engine"
+	"swiftsim/internal/mem"
+	"swiftsim/internal/metrics"
+)
+
+// bankQueueDepth bounds each bank's input queue; Accept exerts
+// backpressure beyond it.
+const bankQueueDepth = 16
+
+// Timed is the cycle-accurate sectored cache module. It models banked
+// access with conflicts, hit latency, MSHR allocation/merging with stalls,
+// streaming (non-reserving) L1 behaviour, write-through or write-back
+// policies, and dirty evictions. It implements engine.Ticker on the
+// upstream side and mem.Port for request entry; downstream traffic goes out
+// through the port supplied at construction.
+type Timed struct {
+	name  string
+	cfg   config.Cache
+	level mem.Level
+	eng   *engine.Engine
+	down  mem.Port
+
+	tags  *tags
+	mshr  *mshrTable
+	banks [][]*mem.Request // per-bank FIFO input queues
+
+	// toDown holds downstream requests (fetches, write-throughs,
+	// writebacks) not yet accepted by the next level.
+	toDown []*mem.Request
+
+	// inflight counts upstream requests accepted but not yet completed.
+	inflight int
+
+	hits, misses  *metrics.Counter
+	sectorMisses  *metrics.Counter // line present, sector absent
+	bankConflicts *metrics.Counter
+	mshrMerges    *metrics.Counter
+	mshrStalls    *metrics.Counter
+	evictions     *metrics.Counter
+	writebacks    *metrics.Counter
+	writeAccesses *metrics.Counter
+}
+
+// NewTimed constructs a cycle-accurate cache named name (the metrics
+// prefix), at hierarchy level level, writing downstream traffic to down.
+func NewTimed(name string, cfg config.Cache, level mem.Level, eng *engine.Engine, down mem.Port, g *metrics.Gatherer) *Timed {
+	c := &Timed{
+		name:          name,
+		cfg:           cfg,
+		level:         level,
+		eng:           eng,
+		down:          down,
+		tags:          newTags(cfg),
+		mshr:          newMSHR(cfg.MSHREntries, cfg.MSHRMaxMerge),
+		banks:         make([][]*mem.Request, cfg.Banks),
+		hits:          g.Counter(name + ".hit"),
+		misses:        g.Counter(name + ".miss"),
+		sectorMisses:  g.Counter(name + ".sector_miss"),
+		bankConflicts: g.Counter(name + ".bank_conflict"),
+		mshrMerges:    g.Counter(name + ".mshr_merge"),
+		mshrStalls:    g.Counter(name + ".mshr_stall"),
+		evictions:     g.Counter(name + ".eviction"),
+		writebacks:    g.Counter(name + ".writeback"),
+		writeAccesses: g.Counter(name + ".write"),
+	}
+	return c
+}
+
+// Name implements engine.Module.
+func (c *Timed) Name() string { return c.name }
+
+// Kind implements engine.Module.
+func (c *Timed) Kind() engine.ModelKind { return engine.CycleAccurate }
+
+// Busy implements engine.Ticker: the cache has per-cycle work while any
+// request is queued, in flight, or waiting to go downstream.
+func (c *Timed) Busy() bool {
+	return c.inflight > 0 || len(c.toDown) > 0
+}
+
+// Accept implements mem.Port. Requests are routed to a bank by sector
+// address; a full bank queue rejects the request.
+func (c *Timed) Accept(r *mem.Request) bool {
+	b := c.bankOf(r.Addr)
+	if len(c.banks[b]) >= bankQueueDepth {
+		c.bankConflicts.Inc()
+		return false
+	}
+	c.banks[b] = append(c.banks[b], r)
+	c.inflight++
+	return true
+}
+
+func (c *Timed) bankOf(addr uint64) int {
+	return int((addr >> c.tags.sectorShift) % uint64(c.cfg.Banks))
+}
+
+// Tick implements engine.Ticker: drain pending downstream traffic, then
+// let each bank process up to Throughput requests.
+func (c *Timed) Tick(cycle uint64) {
+	c.drainDown()
+	for b := range c.banks {
+		for n := 0; n < c.cfg.Throughput && len(c.banks[b]) > 0; n++ {
+			r := c.banks[b][0]
+			if !c.process(r) {
+				// MSHR stall: head-of-line blocks the bank.
+				c.mshrStalls.Inc()
+				break
+			}
+			c.banks[b] = c.banks[b][1:]
+		}
+	}
+}
+
+func (c *Timed) drainDown() {
+	for len(c.toDown) > 0 {
+		if !c.down.Accept(c.toDown[0]) {
+			return
+		}
+		c.toDown = c.toDown[1:]
+	}
+}
+
+// process services one request; it returns false if the request must stall
+// (MSHR full or merge limit reached).
+func (c *Timed) process(r *mem.Request) bool {
+	if r.Write {
+		c.processWrite(r)
+		return true
+	}
+	l, sectorHit := c.tags.lookup(r.Addr)
+	if sectorHit {
+		c.hits.Inc()
+		c.complete(r, c.level)
+		return true
+	}
+	// Miss: park in the MSHR and fetch the sector downstream if needed.
+	lineAddr := c.tags.lineAddr(r.Addr)
+	sector := c.tags.sector(r.Addr)
+	switch c.mshr.add(lineAddr, sector, r) {
+	case mshrStall:
+		return false
+	case mshrMerged:
+		c.mshrMerges.Inc()
+	case mshrNewSector, mshrNewEntry:
+		c.fetch(r.Addr, r.PC, r.SMID)
+	}
+	if l != nil {
+		c.sectorMisses.Inc()
+	}
+	c.misses.Inc()
+	return true
+}
+
+func (c *Timed) processWrite(r *mem.Request) {
+	c.writeAccesses.Inc()
+	if c.cfg.WriteBack {
+		// Write-back with write-allocate at sector granularity: a
+		// store to a resident sector marks it dirty; a store miss
+		// installs the sector directly (stores overwrite the whole
+		// sector in this model, so no fetch-on-write is needed).
+		if _, hit := c.tags.lookup(r.Addr); hit {
+			c.hits.Inc()
+		} else {
+			c.misses.Inc()
+			c.installSector(r.Addr)
+		}
+		c.tags.markDirty(r.Addr)
+	} else {
+		// Write-through, no-allocate (streaming L1): update the
+		// sector if resident, and always forward the write.
+		if _, hit := c.tags.lookup(r.Addr); hit {
+			c.hits.Inc()
+		} else {
+			c.misses.Inc()
+		}
+		c.forwardWrite(r)
+	}
+	// The store itself retires after the hit latency regardless of the
+	// downstream write completing (GPU stores are fire-and-forget).
+	c.complete(r, c.level)
+}
+
+// fetch issues a downstream read for the sector containing addr.
+func (c *Timed) fetch(addr uint64, pc uint64, smid int) {
+	sectorAddr := addr &^ uint64(c.cfg.SectorBytes-1)
+	lineAddr := c.tags.lineAddr(addr)
+	sector := c.tags.sector(addr)
+	dr := &mem.Request{
+		Addr: sectorAddr,
+		Size: c.cfg.SectorBytes,
+		PC:   pc,
+		SMID: smid,
+	}
+	dr.Done = func() { c.onFill(lineAddr, sector, sectorAddr, dr.ServicedBy) }
+	c.toDown = append(c.toDown, dr)
+}
+
+func (c *Timed) forwardWrite(r *mem.Request) {
+	sectorAddr := r.Addr &^ uint64(c.cfg.SectorBytes-1)
+	c.toDown = append(c.toDown, &mem.Request{
+		Addr:  sectorAddr,
+		Write: true,
+		Size:  c.cfg.SectorBytes,
+		PC:    r.PC,
+		SMID:  r.SMID,
+	})
+}
+
+// onFill handles a sector arriving from downstream: install it, write back
+// any dirty eviction, and release the requests parked on it.
+func (c *Timed) onFill(lineAddr uint64, sector uint, sectorAddr uint64, from mem.Level) {
+	c.installSector(sectorAddr)
+	for _, waiter := range c.mshr.fill(lineAddr, sector) {
+		waiter.ServicedBy = from
+		c.complete(waiter, from)
+	}
+}
+
+// installSector installs addr's sector, emitting writebacks for dirty
+// sectors of any displaced line.
+func (c *Timed) installSector(addr uint64) {
+	ev := c.tags.install(addr)
+	if !ev.wasValid {
+		return
+	}
+	c.evictions.Inc()
+	if !c.cfg.WriteBack || ev.dirtySector == 0 {
+		return
+	}
+	base := ev.lineAddr << c.tags.lineShift
+	for s := 0; s < c.tags.sectorsPerLine; s++ {
+		if ev.dirtySector&(1<<uint(s)) == 0 {
+			continue
+		}
+		c.writebacks.Inc()
+		c.toDown = append(c.toDown, &mem.Request{
+			Addr:  base + uint64(s*c.cfg.SectorBytes),
+			Write: true,
+			Size:  c.cfg.SectorBytes,
+		})
+	}
+}
+
+// complete retires an upstream request after the hit latency.
+func (c *Timed) complete(r *mem.Request, lvl mem.Level) {
+	c.eng.Schedule(uint64(c.cfg.HitLatency), func() {
+		c.inflight--
+		r.Complete(lvl)
+	})
+}
+
+// Invalidate drops all cached lines, modeling the L1 flush real GPUs
+// perform at kernel boundaries. It must only be used on write-through
+// caches (no dirty data to lose); in-flight MSHR fills are unaffected and
+// will re-install their sectors.
+func (c *Timed) Invalidate() {
+	c.tags.invalidateAll()
+}
+
+// MSHRUsed exposes MSHR occupancy for tests and debugging.
+func (c *Timed) MSHRUsed() int { return c.mshr.used() }
+
+func (c *Timed) String() string {
+	return fmt.Sprintf("%s: %d KiB %d-way sectored cache (%s)", c.name,
+		c.cfg.SizeBytes()/1024, c.cfg.Ways, c.cfg.Replacement)
+}

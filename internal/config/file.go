@@ -1,0 +1,299 @@
+package config
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The configuration file format is a flat "section.key = value" text file,
+// one assignment per line, with '#' comments, mirroring the style of
+// Accel-Sim configuration files. Marshal and Parse round-trip a GPU exactly.
+
+// Marshal renders g as configuration-file text.
+func Marshal(g GPU) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Swift-Sim hardware configuration: %s\n", g.Name)
+	kv := flatten(g)
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s = %s\n", k, kv[k])
+	}
+	return []byte(b.String())
+}
+
+// WriteFile writes g to path in configuration-file format.
+func WriteFile(path string, g GPU) error {
+	return os.WriteFile(path, Marshal(g), 0o644)
+}
+
+// LoadFile reads and validates a configuration file. An optional
+// "gpu.base" key names a preset to start from, so files may override only a
+// few parameters.
+func LoadFile(path string) (GPU, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return GPU{}, fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	g, err := Parse(f)
+	if err != nil {
+		return GPU{}, fmt.Errorf("config: %s: %w", path, err)
+	}
+	return g, nil
+}
+
+// Parse reads configuration text from r and returns the validated GPU.
+func Parse(r io.Reader) (GPU, error) {
+	kv := make(map[string]string)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		eq := strings.IndexByte(line, '=')
+		if eq < 0 {
+			return GPU{}, fmt.Errorf("line %d: expected key = value, got %q", lineNo, line)
+		}
+		key := strings.TrimSpace(line[:eq])
+		val := strings.TrimSpace(line[eq+1:])
+		if key == "" || val == "" {
+			return GPU{}, fmt.Errorf("line %d: empty key or value in %q", lineNo, line)
+		}
+		if _, dup := kv[key]; dup {
+			return GPU{}, fmt.Errorf("line %d: duplicate key %q", lineNo, key)
+		}
+		kv[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		return GPU{}, err
+	}
+
+	var g GPU
+	if base, ok := kv["gpu.base"]; ok {
+		pg, ok := Preset(base)
+		if !ok {
+			return GPU{}, fmt.Errorf("gpu.base: unknown preset %q (have %v)", base, PresetNames())
+		}
+		g = pg
+		delete(kv, "gpu.base")
+	}
+	if err := apply(&g, kv); err != nil {
+		return GPU{}, err
+	}
+	if err := g.Validate(); err != nil {
+		return GPU{}, err
+	}
+	return g, nil
+}
+
+func flatten(g GPU) map[string]string {
+	kv := map[string]string{
+		"gpu.name":                   g.Name,
+		"gpu.num_sms":                strconv.Itoa(g.NumSMs),
+		"gpu.mem_partitions":         strconv.Itoa(g.MemPartitions),
+		"gpu.dram_latency":           strconv.Itoa(g.DRAMLatency),
+		"gpu.dram_banks":             strconv.Itoa(g.DRAMBanksPerPartition),
+		"gpu.dram_row_hit_latency":   strconv.Itoa(g.DRAMRowHitLatency),
+		"gpu.noc_latency":            strconv.Itoa(g.NoCLatency),
+		"gpu.noc_flit_bytes":         strconv.Itoa(g.NoCFlitBytes),
+		"gpu.noc_topology":           topologyName(g.NoCTopology),
+		"sm.sub_cores":               strconv.Itoa(g.SM.SubCores),
+		"sm.warp_size":               strconv.Itoa(g.SM.WarpSize),
+		"sm.max_warps":               strconv.Itoa(g.SM.MaxWarps),
+		"sm.max_blocks":              strconv.Itoa(g.SM.MaxBlocks),
+		"sm.registers":               strconv.Itoa(g.SM.Registers),
+		"sm.shared_mem_bytes":        strconv.Itoa(g.SM.SharedMemBytes),
+		"sm.scheduler":               g.SM.Scheduler.String(),
+		"sm.schedulers_per_sub_core": strconv.Itoa(g.SM.SchedulersPerSubCore),
+		"sm.int_lanes":               strconv.Itoa(g.SM.IntLanes),
+		"sm.sp_lanes":                strconv.Itoa(g.SM.SPLanes),
+		"sm.dp_lanes":                strconv.Itoa(g.SM.DPLanes),
+		"sm.dp_lanes_half":           strconv.FormatBool(g.SM.DPLanesHalf),
+		"sm.sfu_lanes":               strconv.Itoa(g.SM.SFULanes),
+		"sm.ldst_lanes":              strconv.Itoa(g.SM.LDSTLanes),
+		"sm.int_latency":             strconv.Itoa(g.SM.IntLatency),
+		"sm.sp_latency":              strconv.Itoa(g.SM.SPLatency),
+		"sm.dp_latency":              strconv.Itoa(g.SM.DPLatency),
+		"sm.sfu_latency":             strconv.Itoa(g.SM.SFULatency),
+		"sm.shared_mem_latency":      strconv.Itoa(g.SM.SharedMemLatency),
+	}
+	for level, c := range map[string]Cache{"l1": g.L1, "l2": g.L2} {
+		kv[level+".sets"] = strconv.Itoa(c.Sets)
+		kv[level+".ways"] = strconv.Itoa(c.Ways)
+		kv[level+".line_bytes"] = strconv.Itoa(c.LineBytes)
+		kv[level+".sector_bytes"] = strconv.Itoa(c.SectorBytes)
+		kv[level+".banks"] = strconv.Itoa(c.Banks)
+		kv[level+".mshr_entries"] = strconv.Itoa(c.MSHREntries)
+		kv[level+".mshr_max_merge"] = strconv.Itoa(c.MSHRMaxMerge)
+		kv[level+".hit_latency"] = strconv.Itoa(c.HitLatency)
+		kv[level+".replacement"] = c.Replacement.String()
+		kv[level+".write_back"] = strconv.FormatBool(c.WriteBack)
+		kv[level+".streaming"] = strconv.FormatBool(c.Streaming)
+		kv[level+".throughput"] = strconv.Itoa(c.Throughput)
+	}
+	return kv
+}
+
+func apply(g *GPU, kv map[string]string) error {
+	for key, val := range kv {
+		if err := applyOne(g, key, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func applyOne(g *GPU, key, val string) error {
+	intField := func(dst *int) error {
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("%s: %q is not an integer", key, val)
+		}
+		*dst = n
+		return nil
+	}
+	boolField := func(dst *bool) error {
+		b, err := strconv.ParseBool(val)
+		if err != nil {
+			return fmt.Errorf("%s: %q is not a boolean", key, val)
+		}
+		*dst = b
+		return nil
+	}
+
+	if c, rest, ok := cacheKey(g, key); ok {
+		switch rest {
+		case "sets":
+			return intField(&c.Sets)
+		case "ways":
+			return intField(&c.Ways)
+		case "line_bytes":
+			return intField(&c.LineBytes)
+		case "sector_bytes":
+			return intField(&c.SectorBytes)
+		case "banks":
+			return intField(&c.Banks)
+		case "mshr_entries":
+			return intField(&c.MSHREntries)
+		case "mshr_max_merge":
+			return intField(&c.MSHRMaxMerge)
+		case "hit_latency":
+			return intField(&c.HitLatency)
+		case "replacement":
+			r, err := ParseReplacement(val)
+			if err != nil {
+				return fmt.Errorf("%s: %w", key, err)
+			}
+			c.Replacement = r
+			return nil
+		case "write_back":
+			return boolField(&c.WriteBack)
+		case "streaming":
+			return boolField(&c.Streaming)
+		case "throughput":
+			return intField(&c.Throughput)
+		}
+		return fmt.Errorf("unknown configuration key %q", key)
+	}
+
+	switch key {
+	case "gpu.name":
+		g.Name = val
+		return nil
+	case "gpu.num_sms":
+		return intField(&g.NumSMs)
+	case "gpu.mem_partitions":
+		return intField(&g.MemPartitions)
+	case "gpu.dram_latency":
+		return intField(&g.DRAMLatency)
+	case "gpu.dram_banks":
+		return intField(&g.DRAMBanksPerPartition)
+	case "gpu.dram_row_hit_latency":
+		return intField(&g.DRAMRowHitLatency)
+	case "gpu.noc_latency":
+		return intField(&g.NoCLatency)
+	case "gpu.noc_flit_bytes":
+		return intField(&g.NoCFlitBytes)
+	case "gpu.noc_topology":
+		g.NoCTopology = val
+		return nil
+	case "sm.sub_cores":
+		return intField(&g.SM.SubCores)
+	case "sm.warp_size":
+		return intField(&g.SM.WarpSize)
+	case "sm.max_warps":
+		return intField(&g.SM.MaxWarps)
+	case "sm.max_blocks":
+		return intField(&g.SM.MaxBlocks)
+	case "sm.registers":
+		return intField(&g.SM.Registers)
+	case "sm.shared_mem_bytes":
+		return intField(&g.SM.SharedMemBytes)
+	case "sm.scheduler":
+		p, err := ParseSchedPolicy(val)
+		if err != nil {
+			return err
+		}
+		g.SM.Scheduler = p
+		return nil
+	case "sm.schedulers_per_sub_core":
+		return intField(&g.SM.SchedulersPerSubCore)
+	case "sm.int_lanes":
+		return intField(&g.SM.IntLanes)
+	case "sm.sp_lanes":
+		return intField(&g.SM.SPLanes)
+	case "sm.dp_lanes":
+		return intField(&g.SM.DPLanes)
+	case "sm.dp_lanes_half":
+		return boolField(&g.SM.DPLanesHalf)
+	case "sm.sfu_lanes":
+		return intField(&g.SM.SFULanes)
+	case "sm.ldst_lanes":
+		return intField(&g.SM.LDSTLanes)
+	case "sm.int_latency":
+		return intField(&g.SM.IntLatency)
+	case "sm.sp_latency":
+		return intField(&g.SM.SPLatency)
+	case "sm.dp_latency":
+		return intField(&g.SM.DPLatency)
+	case "sm.sfu_latency":
+		return intField(&g.SM.SFULatency)
+	case "sm.shared_mem_latency":
+		return intField(&g.SM.SharedMemLatency)
+	}
+	return fmt.Errorf("unknown configuration key %q", key)
+}
+
+// topologyName canonicalizes the empty default for serialization.
+func topologyName(t string) string {
+	if t == "" {
+		return "crossbar"
+	}
+	return t
+}
+
+func cacheKey(g *GPU, key string) (*Cache, string, bool) {
+	switch {
+	case strings.HasPrefix(key, "l1."):
+		return &g.L1, key[len("l1."):], true
+	case strings.HasPrefix(key, "l2."):
+		return &g.L2, key[len("l2."):], true
+	}
+	return nil, "", false
+}

@@ -1,0 +1,262 @@
+// Package engine implements Swift-Sim's simulation core: a hybrid
+// cycle/event engine plus the module abstraction of the paper's "Modular and
+// Hybrid GPU Modeling" layer.
+//
+// Cycle-accurate modules register as Tickers and are ticked every simulated
+// cycle while they have work. Analytical modules do not tick: they answer a
+// request by computing a latency and scheduling a completion event. Because
+// both kinds of module sit behind the same inter-module interfaces, a
+// simulator assembly can mix them freely — the paper's central idea. When
+// every ticker is idle, the engine fast-forwards directly to the next
+// scheduled event, which is where hybrid configurations gain most of their
+// speed on memory-bound workloads.
+package engine
+
+import (
+	"fmt"
+)
+
+// ModelKind tells how a module is simulated.
+type ModelKind int
+
+const (
+	// CycleAccurate modules are ticked every cycle and model state
+	// transitions in detail.
+	CycleAccurate ModelKind = iota
+	// Analytical modules compute latencies from closed-form models and
+	// interact with the rest of the GPU only through scheduled events.
+	Analytical
+)
+
+// String returns a human-readable name for k.
+func (k ModelKind) String() string {
+	switch k {
+	case CycleAccurate:
+		return "cycle-accurate"
+	case Analytical:
+		return "analytical"
+	default:
+		return fmt.Sprintf("ModelKind(%d)", int(k))
+	}
+}
+
+// Module is any simulated GPU component. The engine keeps an inventory of
+// modules so a simulator can report which components are cycle-accurate and
+// which are analytical.
+type Module interface {
+	// Name identifies the module (e.g. "SM3.L1", "WarpScheduler").
+	Name() string
+	// Kind reports how the module is modeled.
+	Kind() ModelKind
+}
+
+// Ticker is a cycle-accurate module that needs per-cycle evaluation.
+type Ticker interface {
+	Module
+	// Tick advances the module by one cycle.
+	Tick(cycle uint64)
+	// Busy reports whether the module has pending per-cycle work. When
+	// every registered Ticker is idle the engine jumps to the next
+	// scheduled event instead of ticking through empty cycles.
+	Busy() bool
+}
+
+type event struct {
+	cycle uint64
+	seq   uint64 // FIFO tie-break within a cycle
+	fn    func()
+}
+
+// eventQueue is a binary min-heap ordered by (cycle, seq).
+type eventQueue []event
+
+func (q eventQueue) less(i, j int) bool {
+	if q[i].cycle != q[j].cycle {
+		return q[i].cycle < q[j].cycle
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q *eventQueue) push(ev event) {
+	*q = append(*q, ev)
+	i := len(*q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		(*q)[i], (*q)[parent] = (*q)[parent], (*q)[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{}
+	*q = h[:n]
+	q.siftDown(0)
+	return top
+}
+
+func (q *eventQueue) siftDown(i int) {
+	h := *q
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(right, left) {
+			smallest = right
+		}
+		if !q.less(smallest, i) {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}
+
+// Engine drives a simulation: it owns simulated time, the set of
+// cycle-accurate tickers, and the event queue used by analytical modules.
+type Engine struct {
+	cycle   uint64
+	seq     uint64
+	tickers []Ticker
+	modules []Module
+	events  eventQueue
+
+	// stats
+	tickedCycles  uint64
+	skippedCycles uint64
+	firedEvents   uint64
+}
+
+// New returns an empty engine at cycle 0.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Cycle returns the current simulated cycle.
+func (e *Engine) Cycle() uint64 { return e.cycle }
+
+// TickedCycles returns the number of cycles that were simulated by ticking
+// (a proxy for cycle-accurate work performed).
+func (e *Engine) TickedCycles() uint64 { return e.tickedCycles }
+
+// SkippedCycles returns the number of cycles the engine fast-forwarded over
+// because all tickers were idle (a proxy for work the hybrid configuration
+// avoided).
+func (e *Engine) SkippedCycles() uint64 { return e.skippedCycles }
+
+// FiredEvents returns the number of scheduled events executed.
+func (e *Engine) FiredEvents() uint64 { return e.firedEvents }
+
+// AddModule records a non-ticking module in the inventory.
+func (e *Engine) AddModule(m Module) {
+	e.modules = append(e.modules, m)
+}
+
+// Register adds a cycle-accurate ticker (and records it in the inventory).
+// Tickers are ticked in registration order, so assemblies should register
+// upstream modules (schedulers) before downstream ones (caches, DRAM).
+func (e *Engine) Register(t Ticker) {
+	e.tickers = append(e.tickers, t)
+	e.modules = append(e.modules, t)
+}
+
+// ModuleInfo is one row of the engine's module inventory.
+type ModuleInfo struct {
+	Name string
+	Kind ModelKind
+}
+
+// Inventory lists all registered modules with their modeling kinds, for the
+// hybrid-configuration report.
+func (e *Engine) Inventory() []ModuleInfo {
+	inv := make([]ModuleInfo, len(e.modules))
+	for i, m := range e.modules {
+		inv[i] = ModuleInfo{Name: m.Name(), Kind: m.Kind()}
+	}
+	return inv
+}
+
+// Schedule runs fn after delay cycles. A delay of 0 runs fn at the current
+// cycle if the engine has not yet processed events for it, otherwise at the
+// next cycle boundary; analytical modules should use delays >= 1.
+func (e *Engine) Schedule(delay uint64, fn func()) {
+	e.seq++
+	e.events.push(event{cycle: e.cycle + delay, seq: e.seq, fn: fn})
+}
+
+// ErrDeadlock is returned by Run when no ticker is busy, no events are
+// pending, and the done predicate is still false.
+var ErrDeadlock = fmt.Errorf("engine: deadlock: all modules idle but simulation incomplete")
+
+// ErrCycleLimit is returned by Run when maxCycles elapses first.
+var ErrCycleLimit = fmt.Errorf("engine: cycle limit reached")
+
+// Run advances the simulation until done reports true. It returns the final
+// cycle. maxCycles (0 = unlimited) bounds simulated time to protect against
+// livelock in misconfigured assemblies.
+//
+// Each simulated cycle proceeds as: fire all events scheduled for the
+// cycle, then tick every ticker once. When no ticker reports Busy after a
+// cycle completes, the engine advances time directly to the next pending
+// event.
+func (e *Engine) Run(done func() bool, maxCycles uint64) (uint64, error) {
+	if done() {
+		return e.cycle, nil
+	}
+	for {
+		if maxCycles > 0 && e.cycle >= maxCycles {
+			return e.cycle, fmt.Errorf("%w (%d cycles)", ErrCycleLimit, maxCycles)
+		}
+
+		// Fire events due this cycle. Events may schedule more events
+		// for the same cycle; they run in FIFO order after it.
+		for len(e.events) > 0 && e.events[0].cycle <= e.cycle {
+			ev := e.events.pop()
+			e.firedEvents++
+			ev.fn()
+		}
+
+		for _, t := range e.tickers {
+			t.Tick(e.cycle)
+		}
+		e.tickedCycles++
+
+		if done() {
+			return e.cycle, nil
+		}
+
+		if e.anyBusy() {
+			e.cycle++
+			continue
+		}
+		// All tickers idle: fast-forward to the next event.
+		if len(e.events) == 0 {
+			return e.cycle, ErrDeadlock
+		}
+		next := e.events[0].cycle
+		if next <= e.cycle {
+			e.cycle++
+		} else {
+			e.skippedCycles += next - e.cycle - 1
+			e.cycle = next
+		}
+	}
+}
+
+func (e *Engine) anyBusy() bool {
+	for _, t := range e.tickers {
+		if t.Busy() {
+			return true
+		}
+	}
+	return false
+}

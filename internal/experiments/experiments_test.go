@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"swiftsim/internal/config"
+	"swiftsim/internal/sim"
+)
+
+// smallParams keeps harness tests fast: few apps, small scale, small GPU.
+func smallParams() Params {
+	gpu := config.RTX2080Ti()
+	gpu.NumSMs = 8
+	gpu.MemPartitions = 4
+	return Params{
+		Apps:    []string{"BFS", "GEMM", "SM"},
+		Scale:   0.15,
+		GPU:     gpu,
+		Threads: 2,
+	}
+}
+
+func TestTable1(t *testing.T) {
+	var sb strings.Builder
+	Table1(&sb)
+	out := sb.String()
+	for _, want := range []string{"68", "4352", "5.5MB", "28", "3584", "3.0MB", "82", "10496", "6.0MB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	var sb strings.Builder
+	Table2(&sb)
+	out := sb.String()
+	for _, want := range []string{"68", "GTO", "INT:16x, SP:16x, DP:0.5x, SFU:4x",
+		"write-through", "write-back", "22 memory partitions, 227 cycles", "256 MSHR", "192 MSHR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure4Harness(t *testing.T) {
+	res, err := Figure4(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.HWCycles == 0 {
+			t.Errorf("%s: zero hardware cycles", row.App)
+		}
+		for k := 0; k < 3; k++ {
+			if row.Err[k] < 0 || row.Err[k] > 2 {
+				t.Errorf("%s: error[%d] = %v out of plausible range", row.App, k, row.Err[k])
+			}
+		}
+		if row.SpeedupBasic <= 0 || row.SpeedupMemory <= 0 {
+			t.Errorf("%s: non-positive speedups", row.App)
+		}
+	}
+	// Paper shape: hybrid simulators are faster; Memory fastest.
+	if res.GeoSpeedupMemory <= res.GeoSpeedupBasic {
+		t.Errorf("Memory geomean speedup %.2f not above Basic %.2f",
+			res.GeoSpeedupMemory, res.GeoSpeedupBasic)
+	}
+	var sb strings.Builder
+	res.Print(&sb)
+	if !strings.Contains(sb.String(), "MEAN/GEO") {
+		t.Error("Print missing summary row")
+	}
+}
+
+func TestFigure5Harness(t *testing.T) {
+	res, err := Figure5(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SingleThreadBasic <= 0 || res.SingleThreadMemory <= 0 {
+		t.Fatal("non-positive speedups")
+	}
+	// Wall-clock ratios on millisecond-scale test workloads are noisy
+	// (GC, co-scheduled tests); only require well-formed positive output.
+	if res.TotalMemory <= 0 || res.TotalBasic <= 0 || res.ParallelMemory <= 0 {
+		t.Errorf("non-positive speedup factors: %+v", res)
+	}
+	var sb strings.Builder
+	res.Print(&sb)
+	if !strings.Contains(sb.String(), "TOTAL Swift-Sim-Memory") {
+		t.Error("Print missing totals")
+	}
+}
+
+func TestFigure6Harness(t *testing.T) {
+	p := smallParams()
+	p.Apps = []string{"BFS", "SM"}
+	res, err := Figure6(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2*3 {
+		t.Fatalf("rows = %d, want 6 (2 apps × 3 GPUs)", len(res.Rows))
+	}
+	if len(res.MeanErr) != 3 {
+		t.Fatalf("mean entries = %d, want 3", len(res.MeanErr))
+	}
+	var sb strings.Builder
+	res.Print(&sb)
+	for _, g := range []string{"RTX2080Ti", "RTX3060", "RTX3090"} {
+		if !strings.Contains(sb.String(), g) {
+			t.Errorf("Print missing %s", g)
+		}
+	}
+}
+
+func TestParamsFillDefaults(t *testing.T) {
+	var p Params
+	p.fill()
+	if len(p.Apps) != 20 {
+		t.Errorf("default apps = %d, want 20", len(p.Apps))
+	}
+	if p.Scale != 1.0 || p.GPU.Name != "RTX2080Ti" {
+		t.Errorf("defaults wrong: scale=%v gpu=%s", p.Scale, p.GPU.Name)
+	}
+}
+
+func TestFigure4UnknownApp(t *testing.T) {
+	p := smallParams()
+	p.Apps = []string{"NOPE"}
+	if _, err := Figure4(p); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestKindIndexing(t *testing.T) {
+	// Fig4Row arrays are indexed by sim.Kind; the constants must stay
+	// 0,1,2.
+	if sim.Detailed != 0 || sim.Basic != 1 || sim.Memory != 2 {
+		t.Fatal("sim.Kind constants changed; Fig4Row indexing breaks")
+	}
+}

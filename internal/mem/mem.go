@@ -1,0 +1,83 @@
+// Package mem defines the fixed interface between memory-system modules:
+// sector-granular requests with completion callbacks, and the backpressured
+// Port every level (L1, NoC, L2 slice, DRAM partition) implements. Because
+// all modules speak this one interface, any level can be swapped between a
+// cycle-accurate module and an analytical model without touching its
+// neighbours — the decoupling requirement of the paper's §III-B2.
+package mem
+
+// Level identifies which level of the hierarchy serviced a request.
+type Level int
+
+const (
+	// LevelNone means the request has not completed yet.
+	LevelNone Level = iota
+	// LevelL1 means the request hit in the L1 data cache.
+	LevelL1
+	// LevelL2 means the request hit in an L2 slice.
+	LevelL2
+	// LevelDRAM means the request was serviced by DRAM.
+	LevelDRAM
+)
+
+// String returns a short name for the level.
+func (l Level) String() string {
+	switch l {
+	case LevelNone:
+		return "none"
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelDRAM:
+		return "DRAM"
+	default:
+		return "?"
+	}
+}
+
+// Request is one sector-granular memory transaction flowing through the
+// modeled hierarchy.
+type Request struct {
+	// Addr is the byte address, sector-aligned by the coalescer.
+	Addr uint64
+	// Write distinguishes stores from loads.
+	Write bool
+	// Size is the transaction size in bytes (one sector for cache
+	// traffic).
+	Size int
+	// PC is the program counter of the originating instruction, used for
+	// per-PC statistics and the analytical memory model.
+	PC uint64
+	// SMID is the originating SM, used for return routing and per-SM
+	// counters.
+	SMID int
+	// ServicedBy records the level that ultimately supplied the data.
+	ServicedBy Level
+	// Done is invoked exactly once when the request completes. It may be
+	// nil (e.g. for write-through traffic nobody waits on).
+	Done func()
+}
+
+// Complete marks the request serviced by lvl and fires its callback.
+func (r *Request) Complete(lvl Level) {
+	if r.ServicedBy == LevelNone {
+		r.ServicedBy = lvl
+	}
+	if r.Done != nil {
+		r.Done()
+	}
+}
+
+// Port accepts memory requests with backpressure: Accept returns false when
+// the module cannot take the request this cycle, and the caller must retry
+// later (typically next tick).
+type Port interface {
+	Accept(r *Request) bool
+}
+
+// PortFunc adapts a function to the Port interface.
+type PortFunc func(r *Request) bool
+
+// Accept calls f(r).
+func (f PortFunc) Accept(r *Request) bool { return f(r) }

@@ -1,0 +1,57 @@
+package mem
+
+import "testing"
+
+func TestCompleteSetsLevelOnce(t *testing.T) {
+	calls := 0
+	r := &Request{Addr: 64, Done: func() { calls++ }}
+	r.Complete(LevelL2)
+	if r.ServicedBy != LevelL2 {
+		t.Fatalf("ServicedBy = %v, want L2", r.ServicedBy)
+	}
+	// A second Complete (e.g. a wrapper forwarding the callback) must
+	// not overwrite the first service level.
+	r.Complete(LevelDRAM)
+	if r.ServicedBy != LevelL2 {
+		t.Errorf("ServicedBy overwritten to %v", r.ServicedBy)
+	}
+	if calls != 2 {
+		t.Errorf("Done called %d times across two Completes", calls)
+	}
+}
+
+func TestCompleteNilDone(t *testing.T) {
+	r := &Request{Addr: 0, Write: true}
+	r.Complete(LevelDRAM) // must not panic
+	if r.ServicedBy != LevelDRAM {
+		t.Errorf("ServicedBy = %v", r.ServicedBy)
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	cases := map[Level]string{
+		LevelNone: "none", LevelL1: "L1", LevelL2: "L2", LevelDRAM: "DRAM", Level(99): "?",
+	}
+	for l, want := range cases {
+		if got := l.String(); got != want {
+			t.Errorf("Level(%d).String() = %q, want %q", l, got, want)
+		}
+	}
+}
+
+func TestPortFunc(t *testing.T) {
+	accepted := 0
+	var p Port = PortFunc(func(r *Request) bool {
+		accepted++
+		return r.Addr%64 == 0
+	})
+	if !p.Accept(&Request{Addr: 128}) {
+		t.Error("aligned request rejected")
+	}
+	if p.Accept(&Request{Addr: 130}) {
+		t.Error("misaligned request accepted")
+	}
+	if accepted != 2 {
+		t.Errorf("calls = %d, want 2", accepted)
+	}
+}

@@ -1,0 +1,124 @@
+// Package metrics implements the Metrics Gatherer of the Swift-Sim
+// framework: a registry of named counters that every module writes into and
+// a report generator architects read performance metrics from
+// (total cycles, stall breakdowns, cache miss rates, NoC contention, ...).
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Counter is a monotonically increasing event count. Modules hold
+// *Counter directly so the hot path is a single add.
+type Counter struct {
+	name string
+	v    uint64
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Gatherer collects counters from all modules of a simulator instance.
+// The zero value is not usable; call New.
+type Gatherer struct {
+	byName map[string]*Counter
+	order  []*Counter
+}
+
+// New returns an empty Gatherer.
+func New() *Gatherer {
+	return &Gatherer{byName: make(map[string]*Counter)}
+}
+
+// Counter returns the counter with the given name, creating it at zero on
+// first use. Names are conventionally dotted paths such as
+// "sm.warp_issue_stall" or "l2.miss".
+func (g *Gatherer) Counter(name string) *Counter {
+	if c, ok := g.byName[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	g.byName[name] = c
+	g.order = append(g.order, c)
+	return c
+}
+
+// Value returns the current value of the named counter, or 0 if it was
+// never created.
+func (g *Gatherer) Value(name string) uint64 {
+	if c, ok := g.byName[name]; ok {
+		return c.v
+	}
+	return 0
+}
+
+// Set forces the named counter to v (used for gauges like final cycle
+// counts gathered from the Block Scheduler).
+func (g *Gatherer) Set(name string, v uint64) {
+	g.Counter(name).v = v
+}
+
+// Snapshot copies all counters into a map.
+func (g *Gatherer) Snapshot() map[string]uint64 {
+	m := make(map[string]uint64, len(g.order))
+	for _, c := range g.order {
+		m[c.name] = c.v
+	}
+	return m
+}
+
+// Names returns all counter names in sorted order.
+func (g *Gatherer) Names() []string {
+	names := make([]string, 0, len(g.order))
+	for _, c := range g.order {
+		names = append(names, c.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Ratio returns num/(num+den) as a rate in [0,1], and 0 when both are zero.
+// Typical use: miss rate = Ratio(misses, hits).
+func Ratio(num, den uint64) float64 {
+	if num+den == 0 {
+		return 0
+	}
+	return float64(num) / float64(num+den)
+}
+
+// Report writes all counters to w, one "name value" line in sorted order,
+// followed by derived rates for any pair of counters named "<p>.hit" and
+// "<p>.miss".
+func (g *Gatherer) Report(w io.Writer) error {
+	names := g.Names()
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "%-40s %d\n", n, g.Value(n)); err != nil {
+			return err
+		}
+	}
+	for _, n := range names {
+		const suffix = ".miss"
+		if len(n) > len(suffix) && n[len(n)-len(suffix):] == suffix {
+			prefix := n[:len(n)-len(suffix)]
+			hit := g.Value(prefix + ".hit")
+			miss := g.Value(n)
+			if hit+miss > 0 {
+				if _, err := fmt.Fprintf(w, "%-40s %.4f\n", prefix+".miss_rate", Ratio(miss, hit)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

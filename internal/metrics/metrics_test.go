@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	g := New()
+	c := g.Counter("sm.issue")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("Value = %d, want 5", c.Value())
+	}
+	if c.Name() != "sm.issue" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	if g.Value("sm.issue") != 5 {
+		t.Errorf("Gatherer.Value = %d, want 5", g.Value("sm.issue"))
+	}
+}
+
+func TestCounterIdentity(t *testing.T) {
+	g := New()
+	a := g.Counter("x")
+	b := g.Counter("x")
+	if a != b {
+		t.Fatal("Counter returned distinct instances for the same name")
+	}
+}
+
+func TestValueUnknown(t *testing.T) {
+	if New().Value("never") != 0 {
+		t.Fatal("unknown counter must read 0")
+	}
+}
+
+func TestSet(t *testing.T) {
+	g := New()
+	g.Set("cycles", 1234)
+	if g.Value("cycles") != 1234 {
+		t.Errorf("Value = %d, want 1234", g.Value("cycles"))
+	}
+}
+
+func TestSnapshotAndNames(t *testing.T) {
+	g := New()
+	g.Counter("b").Add(2)
+	g.Counter("a").Add(1)
+	snap := g.Snapshot()
+	if snap["a"] != 1 || snap["b"] != 2 {
+		t.Errorf("Snapshot = %v", snap)
+	}
+	names := g.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v, want [a b]", names)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	cases := []struct {
+		num, den uint64
+		want     float64
+	}{{0, 0, 0}, {1, 0, 1}, {0, 1, 0}, {1, 3, 0.25}, {3, 1, 0.75}}
+	for _, c := range cases {
+		if got := Ratio(c.num, c.den); got != c.want {
+			t.Errorf("Ratio(%d,%d) = %v, want %v", c.num, c.den, got, c.want)
+		}
+	}
+}
+
+func TestReport(t *testing.T) {
+	g := New()
+	g.Counter("l1.hit").Add(3)
+	g.Counter("l1.miss").Add(1)
+	g.Counter("cycles").Add(100)
+	var sb strings.Builder
+	if err := g.Report(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"l1.hit", "l1.miss", "cycles", "l1.miss_rate", "0.2500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportNoRateWithoutAccesses(t *testing.T) {
+	g := New()
+	g.Counter("l1.miss") // zero
+	g.Counter("l1.hit")  // zero
+	var sb strings.Builder
+	if err := g.Report(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "miss_rate") {
+		t.Error("report printed a miss rate with zero accesses")
+	}
+}
+
+// TestQuickCounterSum: a counter equals the sum of its Adds.
+func TestQuickCounterSum(t *testing.T) {
+	f := func(adds []uint16) bool {
+		g := New()
+		c := g.Counter("q")
+		var want uint64
+		for _, a := range adds {
+			c.Add(uint64(a))
+			want += uint64(a)
+		}
+		return c.Value() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+// Package noc implements the on-chip interconnect between the SMs' L1
+// caches and the L2 slices in the memory partitions: a crossbar with
+// per-destination queues, a fixed traversal latency, and bounded
+// per-cycle bandwidth in both directions. Contention appears as queueing
+// delay and as backpressure toward the L1s — the NoC stall cycles the
+// Metrics Gatherer reports come from here.
+//
+// The paper criticizes queueing-model NoCs in analytical simulators for
+// being hard to retarget to new topologies; this module is the
+// cycle-accurate alternative that Swift-Sim assemblies keep when the NoC is
+// the component under study.
+package noc
+
+import (
+	"swiftsim/internal/engine"
+	"swiftsim/internal/mem"
+	"swiftsim/internal/metrics"
+)
+
+// queueCap bounds each per-destination queue; Accept exerts backpressure
+// beyond it.
+const queueCap = 32
+
+type entry struct {
+	r     *mem.Request
+	ready uint64 // cycle at which the traversal latency has elapsed
+	done  func() // original completion callback (responses only)
+}
+
+// Crossbar is a cycle-accurate SM↔partition crossbar. One instance handles
+// both directions: requests flow to partition ports, responses flow back to
+// the requesting L1 by invoking the request's completion callback after the
+// return traversal.
+type Crossbar struct {
+	name     string
+	eng      *engine.Engine
+	latency  uint64
+	perCycle int // requests per destination per cycle
+	targets  []mem.Port
+	mapAddr  func(addr uint64) int
+
+	fwd [][]entry // per-destination request queues
+	ret [][]entry // per-source-partition response queues
+
+	requests *metrics.Counter
+	stalls   *metrics.Counter
+	busyCnt  int
+}
+
+// NewCrossbar builds a crossbar delivering to targets (one port per memory
+// partition). mapAddr maps a sector address to its partition index; latency
+// is the one-way traversal in cycles; perCycle the per-destination
+// per-cycle throughput.
+func NewCrossbar(name string, eng *engine.Engine, targets []mem.Port, mapAddr func(uint64) int, latency uint64, perCycle int, g *metrics.Gatherer) *Crossbar {
+	if perCycle <= 0 {
+		perCycle = 1
+	}
+	return &Crossbar{
+		name:     name,
+		eng:      eng,
+		latency:  latency,
+		perCycle: perCycle,
+		targets:  targets,
+		mapAddr:  mapAddr,
+		fwd:      make([][]entry, len(targets)),
+		ret:      make([][]entry, len(targets)),
+		requests: g.Counter(name + ".request"),
+		stalls:   g.Counter(name + ".stall"),
+	}
+}
+
+// Name implements engine.Module.
+func (x *Crossbar) Name() string { return x.name }
+
+// Kind implements engine.Module.
+func (x *Crossbar) Kind() engine.ModelKind { return engine.CycleAccurate }
+
+// Busy implements engine.Ticker.
+func (x *Crossbar) Busy() bool { return x.busyCnt > 0 }
+
+// Accept implements mem.Port: requests enter the forward network.
+func (x *Crossbar) Accept(r *mem.Request) bool {
+	dst := x.mapAddr(r.Addr)
+	if len(x.fwd[dst]) >= queueCap {
+		x.stalls.Inc()
+		return false
+	}
+	x.requests.Inc()
+	e := entry{r: r, ready: x.eng.Cycle() + x.latency}
+	if r.Done != nil {
+		// Interpose on the response path: when the memory side
+		// completes the request, it travels back through the return
+		// network before the L1 sees it.
+		orig := r.Done
+		r.Done = func() { x.respond(dst, r, orig) }
+	}
+	x.fwd[dst] = append(x.fwd[dst], e)
+	x.busyCnt++
+	return true
+}
+
+// respond enqueues a completed request on the return network.
+func (x *Crossbar) respond(src int, r *mem.Request, done func()) {
+	// The return queue is not backpressured toward the L2 (responses in
+	// real hardware use a separate virtual network with guaranteed
+	// sinking); bandwidth is still bounded per cycle at drain time.
+	x.ret[src] = append(x.ret[src], entry{r: r, ready: x.eng.Cycle() + x.latency, done: done})
+	x.busyCnt++
+}
+
+// Tick implements engine.Ticker: move up to perCycle ready entries per
+// destination into the target ports, and drain up to perCycle responses per
+// source partition.
+func (x *Crossbar) Tick(cycle uint64) {
+	for dst := range x.fwd {
+		for n := 0; n < x.perCycle && len(x.fwd[dst]) > 0; n++ {
+			head := x.fwd[dst][0]
+			if head.ready > cycle {
+				break
+			}
+			if !x.targets[dst].Accept(head.r) {
+				x.stalls.Inc()
+				break
+			}
+			x.fwd[dst] = x.fwd[dst][1:]
+			x.busyCnt--
+		}
+	}
+	for src := range x.ret {
+		for n := 0; n < x.perCycle && len(x.ret[src]) > 0; n++ {
+			head := x.ret[src][0]
+			if head.ready > cycle {
+				break
+			}
+			x.ret[src] = x.ret[src][1:]
+			x.busyCnt--
+			head.done()
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package noc
+
+import (
+	"swiftsim/internal/engine"
+	"swiftsim/internal/mem"
+	"swiftsim/internal/metrics"
+)
+
+// Ring is an alternative cycle-accurate interconnect: SMs and memory
+// partitions sit on a bidirectional ring, a message traverses
+// shortest-path hops at hopLatency cycles per hop, and the ring's
+// bisection bounds aggregate injection per cycle.
+//
+// The paper criticizes queueing-theory NoC models because "when the NoC
+// topology changes, a new analytical model has to be created". Here the
+// topology is just another module implementation behind the same mem.Port
+// interface: assemblies switch between Crossbar and Ring with one
+// configuration key (gpu.noc_topology) and nothing else changes.
+type Ring struct {
+	name       string
+	eng        *engine.Engine
+	hopLatency uint64
+	nodes      int // ring positions (SM count + partition count)
+	bisection  int // messages accepted onto the ring per cycle
+	targets    []mem.Port
+	mapAddr    func(addr uint64) int
+	smPos      func(smID int) int
+	partPos    func(part int) int
+
+	fwd [][]entry // per-destination-partition queues
+	ret [][]entry // per-source-partition response queues
+
+	requests *metrics.Counter
+	stalls   *metrics.Counter
+	hopsAcc  *metrics.Counter
+	busyCnt  int
+	injected int // messages injected this cycle (bisection budget)
+}
+
+// NewRing builds a ring over numSMs SM nodes and the target partitions,
+// interleaved evenly around the ring. mapAddr maps sector addresses to
+// partition indices; hopLatency is the per-hop traversal cost; bisection
+// the per-cycle injection budget.
+func NewRing(name string, eng *engine.Engine, numSMs int, targets []mem.Port, mapAddr func(uint64) int, hopLatency uint64, bisection int, g *metrics.Gatherer) *Ring {
+	if bisection < 1 {
+		bisection = 1
+	}
+	parts := len(targets)
+	nodes := numSMs + parts
+	r := &Ring{
+		name:       name,
+		eng:        eng,
+		hopLatency: hopLatency,
+		nodes:      nodes,
+		bisection:  bisection,
+		targets:    targets,
+		mapAddr:    mapAddr,
+		fwd:        make([][]entry, parts),
+		ret:        make([][]entry, parts),
+		requests:   g.Counter(name + ".request"),
+		stalls:     g.Counter(name + ".stall"),
+		hopsAcc:    g.Counter(name + ".hops"),
+	}
+	// SMs and partitions are each spread evenly around the ring, so
+	// request distances are balanced and average ≈ nodes/4.
+	r.smPos = func(smID int) int {
+		if numSMs == 0 {
+			return 0
+		}
+		return (smID % numSMs) * nodes / numSMs
+	}
+	r.partPos = func(part int) int {
+		return (part*nodes/parts + 1) % nodes
+	}
+	return r
+}
+
+// hops returns the shortest ring distance between two positions.
+func (r *Ring) hops(a, b int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if alt := r.nodes - d; alt < d {
+		d = alt
+	}
+	if d == 0 {
+		d = 1
+	}
+	return d
+}
+
+// Name implements engine.Module.
+func (r *Ring) Name() string { return r.name }
+
+// Kind implements engine.Module.
+func (r *Ring) Kind() engine.ModelKind { return engine.CycleAccurate }
+
+// Busy implements engine.Ticker.
+func (r *Ring) Busy() bool { return r.busyCnt > 0 }
+
+// Accept implements mem.Port: inject a request onto the ring, bounded by
+// queue capacity and the cycle's bisection budget.
+func (r *Ring) Accept(req *mem.Request) bool {
+	dst := r.mapAddr(req.Addr)
+	if len(r.fwd[dst]) >= queueCap || r.injected >= r.bisection {
+		r.stalls.Inc()
+		return false
+	}
+	r.injected++
+	h := r.hops(r.smPos(req.SMID), r.partPos(dst))
+	r.hopsAcc.Add(uint64(h))
+	r.requests.Inc()
+	e := entry{r: req, ready: r.eng.Cycle() + uint64(h)*r.hopLatency}
+	if req.Done != nil {
+		orig := req.Done
+		smID := req.SMID
+		req.Done = func() { r.respond(dst, smID, req, orig) }
+	}
+	r.fwd[dst] = append(r.fwd[dst], e)
+	r.busyCnt++
+	return true
+}
+
+func (r *Ring) respond(src, smID int, req *mem.Request, done func()) {
+	h := r.hops(r.partPos(src), r.smPos(smID))
+	r.ret[src] = append(r.ret[src], entry{r: req, ready: r.eng.Cycle() + uint64(h)*r.hopLatency, done: done})
+	r.busyCnt++
+}
+
+// Tick implements engine.Ticker: refresh the bisection budget, deliver
+// arrived requests to partitions, and drain responses.
+func (r *Ring) Tick(cycle uint64) {
+	r.injected = 0
+	for dst := range r.fwd {
+		for len(r.fwd[dst]) > 0 {
+			head := r.fwd[dst][0]
+			if head.ready > cycle {
+				break
+			}
+			if !r.targets[dst].Accept(head.r) {
+				r.stalls.Inc()
+				break
+			}
+			r.fwd[dst] = r.fwd[dst][1:]
+			r.busyCnt--
+		}
+	}
+	for src := range r.ret {
+		// One response per partition per cycle leaves the ring.
+		if len(r.ret[src]) == 0 {
+			continue
+		}
+		head := r.ret[src][0]
+		if head.ready > cycle {
+			continue
+		}
+		r.ret[src] = r.ret[src][1:]
+		r.busyCnt--
+		head.done()
+	}
+}

@@ -1,0 +1,298 @@
+// Package reuse extracts the per-PC cache hit rates consumed by the
+// analytical memory model of the paper's Eq. 1
+// (L_inst = L_L1·R_L1 + L_L2·R_L2 + L_DRAM·R_DRAM).
+//
+// The paper obtains R_L1/R_L2/R_DRAM "using a reuse distance tool or cache
+// simulator"; this package implements both sources over the same
+// block-interleaved access stream:
+//
+//   - ProfileApp runs timeless functional sectored caches (exact
+//     organization, including the configured replacement policy);
+//   - ProfileAppReuseDistance computes true LRU stack distances with a
+//     Fenwick tree and classifies hits by capacity, the classical
+//     reuse-distance-theory approach (which, as the paper notes, is
+//     inherently LRU-only).
+package reuse
+
+import (
+	"swiftsim/internal/cache"
+	"swiftsim/internal/config"
+	"swiftsim/internal/smcore"
+	"swiftsim/internal/trace"
+)
+
+// Key identifies a static memory instruction: kernel index within the
+// application plus the instruction's PC.
+type Key struct {
+	Kernel int
+	PC     uint64
+}
+
+// Rates is the level-of-service distribution of one static instruction:
+// the fractions of its sector transactions serviced by the L1, the L2, and
+// DRAM. The three fields sum to 1 for any instruction with traffic.
+type Rates struct {
+	L1, L2, DRAM float64
+}
+
+// Profile holds the extracted hit rates for one application.
+type Profile struct {
+	// PerPC maps each static global-memory instruction to its rates.
+	PerPC map[Key]Rates
+	// Default is the application-wide aggregate, used for instructions
+	// missing from PerPC.
+	Default Rates
+	// Accesses is the total number of sector transactions profiled.
+	Accesses uint64
+}
+
+// Rates returns the level-of-service distribution for the given
+// instruction, falling back to the application aggregate.
+func (p *Profile) Rates(kernel int, pc uint64) Rates {
+	if r, ok := p.PerPC[Key{kernel, pc}]; ok {
+		return r
+	}
+	return p.Default
+}
+
+// counts accumulates per-level service counts during profiling.
+type counts struct {
+	l1, l2, dram uint64
+}
+
+func (c counts) total() uint64 { return c.l1 + c.l2 + c.dram }
+
+func (c counts) rates() Rates {
+	t := c.total()
+	if t == 0 {
+		return Rates{L1: 1}
+	}
+	return Rates{
+		L1:   float64(c.l1) / float64(t),
+		L2:   float64(c.l2) / float64(t),
+		DRAM: float64(c.dram) / float64(t),
+	}
+}
+
+// access is one profiled sector transaction.
+type access struct {
+	key    Key
+	sector uint64
+	sm     int
+	write  bool
+}
+
+// stream flattens the application into the block-interleaved sector-access
+// stream the profilers consume: blocks are assigned round-robin to SMs
+// (mirroring the Block Scheduler), warps within a block interleave
+// instruction by instruction, and per-lane addresses are coalesced exactly
+// as the LD/ST unit would.
+func stream(app *trace.App, gpu config.GPU, onKernel func(ki int), visit func(a access)) {
+	sectorBytes := gpu.L1.SectorBytes
+	for ki, k := range app.Kernels {
+		if onKernel != nil {
+			onKernel(ki)
+		}
+		for bi := range k.Blocks {
+			sm := bi % gpu.NumSMs
+			warps := k.Blocks[bi].Warps
+			// Interleave warps instruction by instruction, the
+			// round-robin approximation of concurrent execution.
+			maxLen := 0
+			for _, w := range warps {
+				if len(w) > maxLen {
+					maxLen = len(w)
+				}
+			}
+			for i := 0; i < maxLen; i++ {
+				for _, w := range warps {
+					if i >= len(w) {
+						continue
+					}
+					in := &w[i]
+					if !in.Op.IsGlobalMem() {
+						continue
+					}
+					for _, s := range smcore.Coalesce(in.Addrs, sectorBytes) {
+						visit(access{
+							key:    Key{ki, in.PC},
+							sector: s,
+							sm:     sm,
+							write:  in.Op == trace.OpStoreGlobal,
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// ProfileApp extracts hit rates with functional sectored caches: one L1
+// per SM and one cache with the full L2 capacity, both using the
+// configured geometry and replacement policy.
+func ProfileApp(app *trace.App, gpu config.GPU) *Profile {
+	l1s := make([]*cache.Functional, gpu.NumSMs)
+	for i := range l1s {
+		l1s[i] = cache.NewFunctional(gpu.L1)
+	}
+	l2cfg := gpu.L2
+	l2cfg.Sets *= gpu.MemPartitions // aggregate capacity of all slices
+	l2 := cache.NewFunctional(l2cfg)
+
+	per := make(map[Key]*counts)
+	var agg counts
+	var accesses uint64
+
+	// L1s are invalidated at kernel boundaries, exactly as the timing
+	// simulators model the non-coherent L1 flush of real GPUs.
+	onKernel := func(int) {
+		for _, l1 := range l1s {
+			l1.Reset()
+		}
+	}
+	stream(app, gpu, onKernel, func(a access) {
+		accesses++
+		c := per[a.key]
+		if c == nil {
+			c = &counts{}
+			per[a.key] = c
+		}
+		// Write-through no-allocate L1: stores never hit-allocate, and
+		// always propagate to the L2.
+		if !a.write && l1s[a.sm].Access(a.sector, false) {
+			c.l1++
+			agg.l1++
+			return
+		}
+		if l2.Access(a.sector, a.write) {
+			c.l2++
+			agg.l2++
+			return
+		}
+		c.dram++
+		agg.dram++
+	})
+
+	return buildProfile(per, agg, accesses)
+}
+
+// ProfileAppReuseDistance extracts hit rates from LRU stack distances: an
+// access hits a cache when the number of distinct sectors touched since
+// its previous access is smaller than the cache's sector capacity. L1
+// distances are computed per SM; accesses that exceed the L1 capacity feed
+// the global L2 distance stream.
+func ProfileAppReuseDistance(app *trace.App, gpu config.GPU) *Profile {
+	l1Cap := uint64(gpu.L1.Sets * gpu.L1.Ways * gpu.L1.SectorsPerLine())
+	l2Cap := uint64(gpu.L2.Sets*gpu.L2.Ways*gpu.L2.SectorsPerLine()) * uint64(gpu.MemPartitions)
+
+	l1 := make([]*distanceTracker, gpu.NumSMs)
+	for i := range l1 {
+		l1[i] = newDistanceTracker()
+	}
+	l2 := newDistanceTracker()
+
+	per := make(map[Key]*counts)
+	var agg counts
+	var accesses uint64
+
+	onKernel := func(int) {
+		for i := range l1 {
+			l1[i] = newDistanceTracker()
+		}
+	}
+	stream(app, gpu, onKernel, func(a access) {
+		accesses++
+		c := per[a.key]
+		if c == nil {
+			c = &counts{}
+			per[a.key] = c
+		}
+		if !a.write {
+			if d := l1[a.sm].access(a.sector); d < l1Cap {
+				c.l1++
+				agg.l1++
+				return
+			}
+		}
+		if d := l2.access(a.sector); d < l2Cap {
+			c.l2++
+			agg.l2++
+			return
+		}
+		c.dram++
+		agg.dram++
+	})
+
+	return buildProfile(per, agg, accesses)
+}
+
+func buildProfile(per map[Key]*counts, agg counts, accesses uint64) *Profile {
+	p := &Profile{
+		PerPC:    make(map[Key]Rates, len(per)),
+		Default:  agg.rates(),
+		Accesses: accesses,
+	}
+	for k, c := range per {
+		p.PerPC[k] = c.rates()
+	}
+	return p
+}
+
+// distanceTracker computes LRU stack distances with the classic
+// Fenwick-tree algorithm: O(log n) per access.
+type distanceTracker struct {
+	last map[uint64]int // sector -> time of most recent access
+	bit  []uint64       // Fenwick tree over times; 1 marks a most-recent access
+	time int
+}
+
+const infiniteDistance = ^uint64(0)
+
+func newDistanceTracker() *distanceTracker {
+	return &distanceTracker{last: make(map[uint64]int), bit: make([]uint64, 1)}
+}
+
+// access returns the stack distance of this access (number of distinct
+// sectors touched since the previous access to the same sector), or
+// infiniteDistance for a cold access.
+func (d *distanceTracker) access(sector uint64) uint64 {
+	d.time++
+	d.grow(d.time)
+	dist := infiniteDistance
+	if prev, ok := d.last[sector]; ok {
+		// Count distinct sectors accessed in (prev, now).
+		dist = d.prefix(d.time-1) - d.prefix(prev)
+		d.update(prev, ^uint64(0)) // remove the stale most-recent mark (-1)
+	}
+	d.last[sector] = d.time
+	d.update(d.time, 1)
+	return dist
+}
+
+func (d *distanceTracker) grow(n int) {
+	// Appending position i to a Fenwick tree must initialize its node to
+	// the sum of the range it covers, (i-lowbit(i), i], which is all
+	// historical at append time.
+	for len(d.bit) <= n {
+		i := len(d.bit)
+		low := i & (-i)
+		d.bit = append(d.bit, d.prefix(i-1)-d.prefix(i-low))
+	}
+}
+
+func (d *distanceTracker) update(i int, delta uint64) {
+	for ; i < len(d.bit); i += i & (-i) {
+		d.bit[i] += delta
+	}
+}
+
+func (d *distanceTracker) prefix(i int) uint64 {
+	var s uint64
+	for ; i > 0; i -= i & (-i) {
+		s += d.bit[i]
+	}
+	return s
+}
+
+// Distinct returns the number of distinct sectors seen (for tests).
+func (d *distanceTracker) Distinct() int { return len(d.last) }

@@ -1,0 +1,72 @@
+// Package runner implements Swift-Sim's parallel simulation mode (paper
+// §IV-B2): because each application simulation is an independent
+// simulator instance, a worker pool simulates many applications
+// concurrently. On the paper's 50-thread server this contributes about a
+// 5× additional speedup for both hybrid configurations; the factor here is
+// bounded by the host's core count.
+package runner
+
+import (
+	"runtime"
+	"sync"
+
+	"swiftsim/internal/config"
+	"swiftsim/internal/sim"
+	"swiftsim/internal/trace"
+)
+
+// Job is one application simulation to run.
+type Job struct {
+	// App is the trace to simulate.
+	App *trace.App
+	// GPU is the hardware configuration.
+	GPU config.GPU
+	// Opts selects the simulator configuration.
+	Opts sim.Options
+}
+
+// Outcome pairs a job's result with its error.
+type Outcome struct {
+	Result *sim.Result
+	Err    error
+}
+
+// RunAll executes jobs on a pool of `threads` workers (threads <= 0 uses
+// runtime.NumCPU) and returns outcomes in job order. Each job runs in its
+// own simulator instance, so results are bit-identical to sequential runs.
+func RunAll(jobs []Job, threads int) []Outcome {
+	if threads <= 0 {
+		threads = runtime.NumCPU()
+	}
+	if threads > len(jobs) {
+		threads = len(jobs)
+	}
+	out := make([]Outcome, len(jobs))
+	if threads <= 1 {
+		for i, j := range jobs {
+			res, err := sim.Run(j.App, j.GPU, j.Opts)
+			out[i] = Outcome{Result: res, Err: err}
+		}
+		return out
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				j := jobs[i]
+				res, err := sim.Run(j.App, j.GPU, j.Opts)
+				out[i] = Outcome{Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

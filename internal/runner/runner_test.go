@@ -1,0 +1,74 @@
+package runner
+
+import (
+	"testing"
+
+	"swiftsim/internal/config"
+	"swiftsim/internal/sim"
+	"swiftsim/internal/workload"
+)
+
+func testJobs(t *testing.T, names []string) []Job {
+	t.Helper()
+	gpu := config.RTX2080Ti()
+	gpu.NumSMs = 4
+	gpu.MemPartitions = 2
+	var jobs []Job
+	for _, n := range names {
+		app, err := workload.Generate(n, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, Job{App: app, GPU: gpu, Opts: sim.Options{Kind: sim.Memory}})
+	}
+	return jobs
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	names := []string{"BFS", "GEMM", "SM", "LU", "WC", "MVT"}
+	jobs := testJobs(t, names)
+	seq := RunAll(jobs, 1)
+	par := RunAll(jobs, 4)
+	for i := range seq {
+		if seq[i].Err != nil || par[i].Err != nil {
+			t.Fatalf("job %d errors: %v / %v", i, seq[i].Err, par[i].Err)
+		}
+		if seq[i].Result.Cycles != par[i].Result.Cycles {
+			t.Errorf("%s: parallel cycles %d != sequential %d",
+				names[i], par[i].Result.Cycles, seq[i].Result.Cycles)
+		}
+		if seq[i].Result.App != names[i] || par[i].Result.App != names[i] {
+			t.Errorf("job %d: order not preserved (%s/%s)", i,
+				seq[i].Result.App, par[i].Result.App)
+		}
+	}
+}
+
+func TestDefaultThreadCount(t *testing.T) {
+	jobs := testJobs(t, []string{"BFS", "GEMM"})
+	out := RunAll(jobs, 0) // NumCPU
+	for i, o := range out {
+		if o.Err != nil {
+			t.Fatalf("job %d: %v", i, o.Err)
+		}
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	jobs := testJobs(t, []string{"BFS"})
+	bad := jobs[0]
+	bad.GPU.NumSMs = 0
+	out := RunAll([]Job{bad, jobs[0]}, 2)
+	if out[0].Err == nil {
+		t.Error("invalid job did not error")
+	}
+	if out[1].Err != nil {
+		t.Errorf("valid job errored: %v", out[1].Err)
+	}
+}
+
+func TestEmptyJobs(t *testing.T) {
+	if out := RunAll(nil, 4); len(out) != 0 {
+		t.Fatalf("RunAll(nil) returned %d outcomes", len(out))
+	}
+}

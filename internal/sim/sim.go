@@ -1,0 +1,493 @@
+// Package sim assembles complete GPU performance simulators out of the
+// Swift-Sim modules, reproducing the three configurations the paper
+// evaluates:
+//
+//   - Detailed: the fully cycle-accurate baseline in the Accel-Sim class —
+//     cycle-accurate warp scheduling, ALU pipelines, LD/ST units, sectored
+//     L1/L2 caches with MSHRs, a crossbar NoC, and partitioned DRAM, all
+//     ticked every cycle.
+//   - Swift-Sim-Basic: the ALU pipelines are replaced by the analytical
+//     model of §III-D1; the memory hierarchy stays cycle-accurate.
+//   - Swift-Sim-Memory: Basic, plus the entire memory path (LD/ST unit,
+//     L1, NoC, L2, DRAM) replaced by the Eq. 1 analytical model of
+//     §III-D2 driven by reuse-distance/cache-simulation hit rates.
+//
+// Every configuration shares the identical Block Scheduler and Warp
+// Scheduler & Dispatch modules, demonstrating the paper's claim that
+// modules behind fixed interfaces can be swapped freely.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"swiftsim/internal/analytic"
+	"swiftsim/internal/cache"
+	"swiftsim/internal/config"
+	"swiftsim/internal/dram"
+	"swiftsim/internal/engine"
+	"swiftsim/internal/mem"
+	"swiftsim/internal/metrics"
+	"swiftsim/internal/noc"
+	"swiftsim/internal/reuse"
+	"swiftsim/internal/smcore"
+	"swiftsim/internal/trace"
+)
+
+// Kind selects a simulator configuration.
+type Kind int
+
+const (
+	// Detailed is the fully cycle-accurate baseline (Accel-Sim class).
+	Detailed Kind = iota
+	// Basic is Swift-Sim-Basic: analytical ALUs, cycle-accurate memory.
+	Basic
+	// Memory is Swift-Sim-Memory: analytical ALUs and analytical memory.
+	Memory
+	// L2Hybrid keeps the LD/ST units and the L1 cycle-accurate but
+	// replaces everything below the L1 (NoC, L2, DRAM) with the
+	// analytical Backend — a third hybridization point, at the mem.Port
+	// boundary, showing that any subset of modules can be simplified.
+	L2Hybrid
+)
+
+// String returns the configuration name used in reports.
+func (k Kind) String() string {
+	switch k {
+	case Detailed:
+		return "Detailed"
+	case Basic:
+		return "Swift-Sim-Basic"
+	case Memory:
+		return "Swift-Sim-Memory"
+	case L2Hybrid:
+		return "Swift-Sim-L2"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// HitRateSource selects where Swift-Sim-Memory's Eq. 1 rates come from.
+type HitRateSource int
+
+const (
+	// FunctionalCaches extracts rates with timeless sectored caches
+	// (supports every replacement policy).
+	FunctionalCaches HitRateSource = iota
+	// ReuseDistance extracts rates with LRU stack-distance theory.
+	ReuseDistance
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Kind selects the simulator configuration.
+	Kind Kind
+	// HitRates selects Swift-Sim-Memory's hit-rate source.
+	HitRates HitRateSource
+	// MaxCycles bounds simulated time per kernel (0 = default guard of
+	// one billion cycles).
+	MaxCycles uint64
+	// LatencyScale multiplies memory/unit latencies; the golden hardware
+	// model uses it (>1) to represent undisclosed real-hardware timing.
+	// 0 means 1.0.
+	LatencyScale float64
+	// ExtraKernelOverhead adds fixed cycles per kernel launch (golden
+	// model: driver/launch overhead no performance simulator models).
+	ExtraKernelOverhead uint64
+	// Scheduler optionally installs a custom warp-scheduling policy
+	// (smcore.Picker) per sub-core in place of the configured built-in —
+	// the paper's new-scheduler exploration hook. Works with every Kind.
+	Scheduler func(smID, sub int) smcore.Picker
+	// SampleBlocks in (0,1) enables block-level sampled simulation in
+	// the spirit of the sampling work the paper cites as orthogonal:
+	// only the first ceil(fraction×blocks) blocks of each kernel are
+	// simulated and the kernel's cycles are extrapolated linearly.
+	// 0 or 1 simulates everything. Composes with every Kind.
+	SampleBlocks float64
+}
+
+// Result is the outcome of simulating one application.
+type Result struct {
+	// App and GPUName identify the run.
+	App     string
+	GPUName string
+	// Kind is the simulator configuration used.
+	Kind Kind
+	// Cycles is the predicted total execution time in GPU cycles.
+	Cycles uint64
+	// Wall is the host wall-clock time of the simulation (including
+	// hit-rate extraction for Swift-Sim-Memory).
+	Wall time.Duration
+	// Instructions is the number of warp instructions issued.
+	Instructions uint64
+	// KernelCycles records each kernel's (possibly extrapolated)
+	// duration, in launch order.
+	KernelCycles []uint64
+	// Sampled reports whether block-level sampling was applied.
+	Sampled bool
+	// TickedCycles and SkippedCycles decompose simulated time into
+	// cycles evaluated tick-by-tick vs fast-forwarded.
+	TickedCycles  uint64
+	SkippedCycles uint64
+	// Metrics is the final counter snapshot from the Metrics Gatherer.
+	Metrics map[string]uint64
+	// Inventory lists every module with its modeling kind.
+	Inventory []engine.ModuleInfo
+}
+
+// gpuAssembly holds one wired simulator instance.
+type gpuAssembly struct {
+	eng         *engine.Engine
+	g           *metrics.Gatherer
+	bs          *smcore.BlockScheduler
+	l1s         []*cache.Timed
+	kernelIndex int
+}
+
+// Run simulates app on gpu under opts and returns the result.
+func Run(app *trace.App, gpu config.GPU, opts Options) (*Result, error) {
+	if err := gpu.Validate(); err != nil {
+		return nil, err
+	}
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	// Block-level sampling: simulate a prefix of each kernel's blocks
+	// and extrapolate. The sampled app also drives hit-rate profiling.
+	sampleScale := make([]float64, len(app.Kernels))
+	for i := range sampleScale {
+		sampleScale[i] = 1
+	}
+	sampled := false
+	if opts.SampleBlocks > 0 && opts.SampleBlocks < 1 {
+		app, sampleScale = sampleApp(app, gpu, opts.SampleBlocks)
+		sampled = true
+	}
+
+	var prof *reuse.Profile
+	if opts.Kind == Memory {
+		// Hit-rate extraction is part of Swift-Sim-Memory's cost.
+		switch opts.HitRates {
+		case ReuseDistance:
+			prof = reuse.ProfileAppReuseDistance(app, gpu)
+		default:
+			prof = reuse.ProfileApp(app, gpu)
+		}
+	}
+
+	a := assemble(gpu, opts, prof)
+	maxCycles := opts.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 1_000_000_000
+	}
+
+	var overhead, extrapolated uint64
+	kernelCycles := make([]uint64, 0, len(app.Kernels))
+	for ki, k := range app.Kernels {
+		a.kernelIndex = ki
+		// Kernel-boundary L1 invalidation (non-coherent GPU L1s are
+		// flushed between kernels); the L2 persists.
+		for _, l1 := range a.l1s {
+			l1.Invalidate()
+		}
+		kStart := a.eng.Cycle()
+		a.bs.LaunchKernel(k)
+		if _, err := a.eng.Run(a.bs.KernelDone, a.eng.Cycle()+maxCycles); err != nil {
+			return nil, fmt.Errorf("sim: %s kernel %d (%s): %w", app.Name, ki, k.Name, err)
+		}
+		kc := uint64(float64(a.eng.Cycle()-kStart) * sampleScale[ki])
+		kernelCycles = append(kernelCycles, kc)
+		extrapolated += kc
+		overhead += opts.ExtraKernelOverhead
+	}
+
+	total := extrapolated + overhead
+	a.g.Set("gpu.cycles", total)
+	return &Result{
+		App:           app.Name,
+		GPUName:       gpu.Name,
+		Kind:          opts.Kind,
+		Cycles:        total,
+		Wall:          time.Since(start),
+		Instructions:  a.g.Value("sm.issued"),
+		KernelCycles:  kernelCycles,
+		Sampled:       sampled,
+		TickedCycles:  a.eng.TickedCycles(),
+		SkippedCycles: a.eng.SkippedCycles(),
+		Metrics:       a.g.Snapshot(),
+		Inventory:     a.eng.Inventory(),
+	}, nil
+}
+
+// sampleApp truncates each kernel to a prefix of its blocks and returns
+// the per-kernel extrapolation factors. Extrapolation is wave-aware:
+// blocks execute in waves of (occupancy × SMs) concurrent blocks, so
+// scaling uses wave counts rather than raw block counts, and at least one
+// full wave is always simulated.
+func sampleApp(app *trace.App, gpu config.GPU, frac float64) (*trace.App, []float64) {
+	out := &trace.App{Name: app.Name, Suite: app.Suite}
+	scale := make([]float64, len(app.Kernels))
+	for i, k := range app.Kernels {
+		n := len(k.Blocks)
+		waveCap := smcore.BlocksPerSM(gpu.SM, k) * gpu.NumSMs
+		if waveCap < 1 {
+			waveCap = 1
+		}
+		keep := int(float64(n)*frac + 0.5)
+		if keep < waveCap {
+			keep = waveCap // always simulate a full wave
+		}
+		if keep > n {
+			keep = n
+		}
+		waves := func(blocks int) float64 {
+			return float64((blocks + waveCap - 1) / waveCap)
+		}
+		sk := &trace.Kernel{
+			Name:              k.Name,
+			Grid:              trace.Dim3{X: keep, Y: 1, Z: 1},
+			Block:             k.Block,
+			RegsPerThread:     k.RegsPerThread,
+			SharedMemPerBlock: k.SharedMemPerBlock,
+			Blocks:            k.Blocks[:keep],
+		}
+		out.Kernels = append(out.Kernels, sk)
+		scale[i] = waves(n) / waves(keep)
+	}
+	return out, scale
+}
+
+// scaleLat applies the golden model's latency scale.
+func scaleLat(l int, scale float64) int {
+	if scale <= 0 {
+		return l
+	}
+	v := int(float64(l) * scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// assemble wires one simulator instance per opts.Kind.
+func assemble(gpu config.GPU, opts Options, prof *reuse.Profile) *gpuAssembly {
+	eng := engine.New()
+	g := metrics.New()
+	a := &gpuAssembly{eng: eng, g: g}
+
+	scale := opts.LatencyScale
+	smCfg := gpu.SM
+	if scale > 0 {
+		smCfg.IntLatency = scaleLat(smCfg.IntLatency, scale)
+		smCfg.SPLatency = scaleLat(smCfg.SPLatency, scale)
+		smCfg.DPLatency = scaleLat(smCfg.DPLatency, scale)
+		smCfg.SFULatency = scaleLat(smCfg.SFULatency, scale)
+		smCfg.SharedMemLatency = scaleLat(smCfg.SharedMemLatency, scale)
+	}
+
+	// Memory hierarchy (all configurations except Memory, which models
+	// the entire path analytically): one L1 per SM in front of either
+	// the cycle-accurate NoC/L2/DRAM or the analytical Backend.
+	var l1For func(smID int) mem.Port
+	if opts.Kind == L2Hybrid {
+		backend := analytic.NewBackend("membackend", eng, gpu, g)
+		eng.AddModule(backend)
+		l1cfg := gpu.L1
+		l1cfg.HitLatency = scaleLat(l1cfg.HitLatency, scale)
+		l1s := make([]*cache.Timed, gpu.NumSMs)
+		for i := range l1s {
+			l1s[i] = cache.NewTimed("l1", l1cfg, mem.LevelL1, eng, backend, g)
+		}
+		a.l1s = l1s
+		l1For = func(smID int) mem.Port { return l1s[smID] }
+		defer func() {
+			for _, l1 := range l1s {
+				eng.Register(l1)
+			}
+		}()
+	} else if opts.Kind != Memory {
+		l2cfg := gpu.L2
+		l2cfg.HitLatency = scaleLat(l2cfg.HitLatency, scale)
+		dramLat := scaleLat(gpu.DRAMLatency, scale)
+
+		targets := make([]mem.Port, gpu.MemPartitions)
+		var l2s []*cache.Timed
+		var drams []*dram.Partition
+		for p := 0; p < gpu.MemPartitions; p++ {
+			dp := dram.New("dram", eng, gpu.DRAMBanksPerPartition, dramLat, gpu.DRAMRowHitLatency, g)
+			l2 := cache.NewTimed("l2", l2cfg, mem.LevelL2, eng, dp, g)
+			drams = append(drams, dp)
+			l2s = append(l2s, l2)
+			targets[p] = l2
+		}
+		lineBytes := uint64(gpu.L2.LineBytes)
+		parts := uint64(gpu.MemPartitions)
+		// XOR-hashed slice interleaving, as on real GPUs and Accel-Sim:
+		// plain modulo would send power-of-two strides to one partition
+		// (partition camping) and serialize the whole memory system.
+		mapAddr := func(addr uint64) int {
+			line := addr / lineBytes
+			line ^= line >> 7
+			line ^= line >> 13
+			return int(line % parts)
+		}
+		var interconnect interface {
+			mem.Port
+			engine.Ticker
+		}
+		if gpu.NoCTopology == "ring" {
+			// NoCLatency is the crossbar's end-to-end traversal; a
+			// ring pays per hop, so the per-hop cost is derived from
+			// it (≈2 cycles per hop for the default 12).
+			hop := scaleLat(gpu.NoCLatency, scale) / 6
+			if hop < 1 {
+				hop = 1
+			}
+			interconnect = noc.NewRing("noc", eng, gpu.NumSMs, targets, mapAddr,
+				uint64(hop), 2*gpu.MemPartitions, g)
+		} else {
+			interconnect = noc.NewCrossbar("noc", eng, targets, mapAddr,
+				uint64(scaleLat(gpu.NoCLatency, scale)), gpu.NoCFlitBytes/gpu.L1.SectorBytes, g)
+		}
+
+		l1cfg := gpu.L1
+		l1cfg.HitLatency = scaleLat(l1cfg.HitLatency, scale)
+		l1s := make([]*cache.Timed, gpu.NumSMs)
+		for i := range l1s {
+			l1s[i] = cache.NewTimed("l1", l1cfg, mem.LevelL1, eng, interconnect, g)
+		}
+		a.l1s = l1s
+		l1For = func(smID int) mem.Port { return l1s[smID] }
+
+		// Build SMs below, then register memory modules after them so
+		// issue happens before same-cycle memory processing.
+		defer func() {
+			for _, l1 := range l1s {
+				eng.Register(l1)
+			}
+			eng.Register(interconnect)
+			for _, l2 := range l2s {
+				eng.Register(l2)
+			}
+			for _, dp := range drams {
+				eng.Register(dp)
+			}
+		}()
+	}
+
+	// Execution units per configuration.
+	var units smcore.UnitSet
+	switch opts.Kind {
+	case Detailed:
+		units = smcore.NewCycleAccurateUnits(smCfg, eng, g, gpu.L1.SectorBytes, l1For)
+	case Basic, L2Hybrid:
+		units = smcore.UnitSet{
+			ALU:  analyticalALUs(smCfg, eng, g),
+			LDST: smcore.NewCycleAccurateUnits(smCfg, eng, g, gpu.L1.SectorBytes, l1For).LDST,
+		}
+	case Memory:
+		// Eq. 1's level latencies are end-to-end from the core: an L2
+		// hit pays the L1 lookup, the NoC round trip and the L2 access;
+		// a DRAM access additionally pays the DRAM latency. The DRAM
+		// channel meter is rated from the detailed model's bank
+		// occupancy (≈16 cycles per sector across banks×partitions);
+		// each SM also has an L1-port meter at the banked L1's rate.
+		l1Hit := scaleLat(gpu.L1.HitLatency, scale)
+		l2End := l1Hit + 2*scaleLat(gpu.NoCLatency, scale) + scaleLat(gpu.L2.HitLatency, scale)
+		dramEnd := l2End + scaleLat(gpu.DRAMLatency, scale)
+		dramRate := 24.0 / float64(gpu.DRAMBanksPerPartition*gpu.MemPartitions)
+		meter := analytic.NewBandwidthMeterRate(dramRate)
+		nocMeter := analytic.NewBandwidthMeterRate(1 / float64(gpu.MemPartitions))
+		l1Meters := make(map[int]*analytic.BandwidthMeter)
+		params := analytic.MemModelParams{
+			Profile:          prof,
+			KernelIndex:      &a.kernelIndex,
+			L1Latency:        l1Hit,
+			L2Latency:        l2End,
+			DRAMLatency:      dramEnd,
+			SharedMemLatency: smCfg.SharedMemLatency,
+			SectorBytes:      gpu.L1.SectorBytes,
+			Lanes:            smCfg.LDSTLanes,
+			DRAM:             meter,
+			NoC:              nocMeter,
+			DivergeCost:      20,
+		}
+		mshrMeters := make(map[int]*analytic.BandwidthMeter)
+		units = smcore.UnitSet{
+			ALU: analyticalALUs(smCfg, eng, g),
+			LDST: func(smID, sub int) smcore.Unit {
+				p := params
+				if m, ok := l1Meters[smID]; ok {
+					p.L1Port = m
+				} else {
+					p.L1Port = analytic.NewBandwidthMeterRate(1 / float64(gpu.L1.Banks*gpu.L1.Throughput))
+					l1Meters[smID] = p.L1Port
+				}
+				if m, ok := mshrMeters[smID]; ok {
+					p.MSHR = m
+				} else {
+					p.MSHR = analytic.NewBandwidthMeterRate(1)
+					mshrMeters[smID] = p.MSHR
+				}
+				p.MSHREntries = gpu.L1.MSHREntries
+				u := analytic.NewMemModel("mem", eng, p, g)
+				eng.AddModule(u)
+				return u
+			},
+		}
+	}
+
+	units.Scheduler = opts.Scheduler
+
+	// SMs and the Block Scheduler.
+	sms := make([]*smcore.SM, gpu.NumSMs)
+	var bs *smcore.BlockScheduler
+	onBlockDone := func(sm *smcore.SM) { bs.BlockDone(sm) }
+	for i := range sms {
+		sms[i] = smcore.NewSM(i, smCfg, eng, units, g, onBlockDone)
+	}
+	bs = smcore.NewBlockScheduler(sms, g)
+	a.bs = bs
+	eng.Register(bs)
+	for _, sm := range sms {
+		eng.Register(sm)
+	}
+	return a
+}
+
+// analyticalALUs returns the ALU provider of the hybrid configurations:
+// one ALUModel per sub-core per class, with DP shared per sub-core pair
+// when the configuration is "DP:0.5x" — identical structure to the
+// cycle-accurate provider, different modeling.
+func analyticalALUs(cfg config.SM, eng *engine.Engine, g *metrics.Gatherer) func(smID, sub int, class trace.OpClass) smcore.Unit {
+	type dpKey struct{ sm, pair int }
+	sharedDP := make(map[dpKey]*analytic.ALUModel)
+	mk := func(name string, lat, lanes int) *analytic.ALUModel {
+		u := analytic.NewALUModel(name, eng, lat, cfg.IssueInterval(lanes), g)
+		eng.AddModule(u)
+		return u
+	}
+	return func(smID, sub int, class trace.OpClass) smcore.Unit {
+		switch class {
+		case trace.OpInt:
+			return mk("alu.INT", cfg.IntLatency, cfg.IntLanes)
+		case trace.OpSP:
+			return mk("alu.SP", cfg.SPLatency, cfg.SPLanes)
+		case trace.OpSFU:
+			return mk("alu.SFU", cfg.SFULatency, cfg.SFULanes)
+		default: // OpDP
+			if !cfg.DPLanesHalf {
+				return mk("alu.DP", cfg.DPLatency, cfg.DPLanes)
+			}
+			key := dpKey{smID, sub / 2}
+			if u, ok := sharedDP[key]; ok {
+				return u
+			}
+			u := mk("alu.DP", cfg.DPLatency, cfg.DPLanes)
+			sharedDP[key] = u
+			return u
+		}
+	}
+}

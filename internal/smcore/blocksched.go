@@ -1,0 +1,88 @@
+package smcore
+
+import (
+	"swiftsim/internal/engine"
+	"swiftsim/internal/metrics"
+	"swiftsim/internal/trace"
+)
+
+// BlockScheduler is the GPU-level CTA scheduler: it distributes the thread
+// blocks of the running kernel across SMs as residency resources free up,
+// and detects kernel completion. The Metrics Gatherer reads total
+// simulation cycles from here (paper §III-C).
+type BlockScheduler struct {
+	sms    []*SM
+	kernel *trace.Kernel
+	next   int // next block to assign
+	done   int // completed blocks
+	cursor int // round-robin start SM
+
+	kernelsRun  *metrics.Counter
+	blocksTotal *metrics.Counter
+}
+
+// NewBlockScheduler builds a scheduler over the given SMs. Wire each SM's
+// onBlockDone to (*BlockScheduler).BlockDone.
+func NewBlockScheduler(sms []*SM, g *metrics.Gatherer) *BlockScheduler {
+	return &BlockScheduler{
+		sms:         sms,
+		kernelsRun:  g.Counter("gpu.kernels"),
+		blocksTotal: g.Counter("gpu.blocks"),
+	}
+}
+
+// LaunchKernel starts distributing k's blocks. Any previous kernel must
+// have completed.
+func (bs *BlockScheduler) LaunchKernel(k *trace.Kernel) {
+	bs.kernel = k
+	bs.next = 0
+	bs.done = 0
+	bs.kernelsRun.Inc()
+}
+
+// KernelDone reports whether every block of the current kernel completed.
+func (bs *BlockScheduler) KernelDone() bool {
+	return bs.kernel == nil || bs.done == len(bs.kernel.Blocks)
+}
+
+// BlockDone records one finished block; SMs call it via their onBlockDone
+// hook.
+func (bs *BlockScheduler) BlockDone(*SM) {
+	bs.done++
+	bs.blocksTotal.Inc()
+}
+
+// Name implements engine.Module.
+func (bs *BlockScheduler) Name() string { return "BlockScheduler" }
+
+// Kind implements engine.Module.
+func (bs *BlockScheduler) Kind() engine.ModelKind { return engine.CycleAccurate }
+
+// Busy implements engine.Ticker. Assignment only unblocks when a block
+// completes, which is always an engine event, and the engine ticks every
+// module on event cycles — so the scheduler never needs to force ticking
+// and can let the engine fast-forward.
+func (bs *BlockScheduler) Busy() bool { return false }
+
+// Tick implements engine.Ticker: assign as many pending blocks as fit,
+// round-robin over SMs.
+func (bs *BlockScheduler) Tick(uint64) {
+	if bs.kernel == nil {
+		return
+	}
+	for bs.next < len(bs.kernel.Blocks) {
+		assigned := false
+		for i := 0; i < len(bs.sms) && bs.next < len(bs.kernel.Blocks); i++ {
+			sm := bs.sms[(bs.cursor+i)%len(bs.sms)]
+			if sm.CanAccept(bs.kernel) {
+				sm.AssignBlock(bs.kernel, bs.next)
+				bs.next++
+				bs.cursor = (bs.cursor + i + 1) % len(bs.sms)
+				assigned = true
+			}
+		}
+		if !assigned {
+			return
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package smcore
+
+import (
+	"testing"
+
+	"swiftsim/internal/metrics"
+)
+
+func TestICacheMissThenHit(t *testing.T) {
+	g := metrics.New()
+	ic := NewICache("ic", 8, 40, g)
+	if ic.Ready(0, 0) {
+		t.Fatal("cold fetch ready")
+	}
+	if ic.Ready(0, 10) {
+		t.Fatal("fetch ready before fill completes")
+	}
+	if !ic.Ready(0, 40) {
+		t.Fatal("fetch not ready after fill latency")
+	}
+	if g.Value("ic.miss") != 1 {
+		t.Errorf("misses = %d, want 1 (in-flight retries are not misses)", g.Value("ic.miss"))
+	}
+	if g.Value("ic.hit") != 1 {
+		t.Errorf("hits = %d, want 1", g.Value("ic.hit"))
+	}
+}
+
+func TestICacheSameLineSharesFill(t *testing.T) {
+	g := metrics.New()
+	ic := NewICache("ic", 8, 40, g)
+	ic.Ready(0, 0)
+	// PC 8..56 are in the same 64-byte line: no extra misses.
+	for pc := uint64(8); pc < 64; pc += 8 {
+		ic.Ready(pc, 1)
+	}
+	if g.Value("ic.miss") != 1 {
+		t.Errorf("misses = %d, want 1 for one line", g.Value("ic.miss"))
+	}
+}
+
+func TestICacheNextLinePrefetch(t *testing.T) {
+	g := metrics.New()
+	ic := NewICache("ic", 8, 40, g)
+	ic.Ready(0, 0) // miss line 0; prefetch lines 1..2
+	// After the fill window, sequential code hits without new misses.
+	for pc := uint64(64); pc < 64*3; pc += 8 {
+		if !ic.Ready(pc, 100) {
+			t.Fatalf("prefetched pc %#x not ready", pc)
+		}
+	}
+	if g.Value("ic.miss") != 1 {
+		t.Errorf("misses = %d, want 1 (stream prefetch)", g.Value("ic.miss"))
+	}
+}
+
+func TestICacheCapacityEviction(t *testing.T) {
+	g := metrics.New()
+	ic := NewICache("ic", 2, 10, g)
+	// Touch many distinct lines far apart (no prefetch overlap).
+	for i := uint64(0); i < 8; i++ {
+		ic.Ready(i*64*10, 100*(i+1))
+	}
+	if got := len(ic.lines); got > 2 {
+		t.Errorf("resident lines = %d, want <= capacity 2", got)
+	}
+	// The earliest line was evicted: fetching it again misses.
+	before := g.Value("ic.miss")
+	ic.Ready(0, 10_000)
+	if g.Value("ic.miss") != before+1 {
+		t.Error("evicted line did not miss")
+	}
+}
+
+func TestICacheBusyWindow(t *testing.T) {
+	g := metrics.New()
+	ic := NewICache("ic", 8, 40, g)
+	if ic.Busy(0) {
+		t.Fatal("fresh icache busy")
+	}
+	ic.Ready(0, 5)
+	if !ic.Busy(6) {
+		t.Fatal("icache idle during fill")
+	}
+	if ic.Busy(100) {
+		t.Fatal("icache busy after fills complete")
+	}
+}
+
+func TestICacheCapacityClamp(t *testing.T) {
+	ic := NewICache("ic", 0, 10, metrics.New())
+	if ic.capacity != 1 {
+		t.Errorf("capacity = %d, want clamped to 1", ic.capacity)
+	}
+}

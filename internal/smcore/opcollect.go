@@ -1,0 +1,103 @@
+package smcore
+
+import (
+	"swiftsim/internal/engine"
+	"swiftsim/internal/metrics"
+	"swiftsim/internal/trace"
+)
+
+// regFileBanks is the number of register-file banks per sub-core; two
+// source operands in the same bank collect over two cycles.
+const regFileBanks = 8
+
+// collectorSlots is the number of collector units (instructions gathering
+// operands concurrently).
+const collectorSlots = 4
+
+// collectEntry is one instruction gathering its source operands.
+type collectEntry struct {
+	in      *trace.Inst
+	done    func()
+	pending []int // register banks still to read
+}
+
+// OperandCollector models the operand-collection stage of the detailed
+// simulator: issued instructions park in collector units, read their
+// source operands through banked register-file ports (one read per bank
+// per cycle; same-bank operands serialize), and only then enter the
+// execution pipeline. Swift-Sim-Basic drops this stage — it is one of the
+// "less critical modules" the paper simplifies — so it exists only in the
+// fully cycle-accurate configuration.
+type OperandCollector struct {
+	name  string
+	inner Unit
+	queue []*collectEntry
+
+	collected *metrics.Counter
+	conflicts *metrics.Counter
+}
+
+// NewOperandCollector wraps unit with an operand-collection stage.
+func NewOperandCollector(name string, unit Unit, g *metrics.Gatherer) *OperandCollector {
+	return &OperandCollector{
+		name:      name,
+		inner:     unit,
+		collected: g.Counter(name + ".collected"),
+		conflicts: g.Counter(name + ".bank_conflict"),
+	}
+}
+
+// Name implements engine.Module.
+func (oc *OperandCollector) Name() string { return oc.name }
+
+// Kind implements engine.Module.
+func (oc *OperandCollector) Kind() engine.ModelKind { return engine.CycleAccurate }
+
+// Busy implements Unit.
+func (oc *OperandCollector) Busy() bool { return len(oc.queue) > 0 || oc.inner.Busy() }
+
+// TryIssue implements Unit: accept the instruction into a collector slot.
+func (oc *OperandCollector) TryIssue(cycle uint64, in *trace.Inst, done func()) bool {
+	if len(oc.queue) >= collectorSlots {
+		return false
+	}
+	e := &collectEntry{in: in, done: done}
+	for _, src := range in.Src {
+		if src != trace.RegNone {
+			e.pending = append(e.pending, int(src)%regFileBanks)
+		}
+	}
+	oc.queue = append(oc.queue, e)
+	return true
+}
+
+// Tick implements Unit: arbitrate register-bank reads (one per bank per
+// cycle, oldest collector first), dispatch complete entries into the
+// execution pipeline, then advance the pipeline itself.
+func (oc *OperandCollector) Tick(cycle uint64) {
+	oc.inner.Tick(cycle)
+
+	var bankUsed [regFileBanks]bool
+	remaining := oc.queue[:0]
+	for _, e := range oc.queue {
+		// Read as many pending operands as bank ports allow.
+		keep := e.pending[:0]
+		for _, b := range e.pending {
+			if bankUsed[b] {
+				oc.conflicts.Inc()
+				keep = append(keep, b)
+				continue
+			}
+			bankUsed[b] = true
+		}
+		e.pending = keep
+		if len(e.pending) == 0 {
+			if oc.inner.TryIssue(cycle, e.in, e.done) {
+				oc.collected.Inc()
+				continue // leaves the collector
+			}
+		}
+		remaining = append(remaining, e)
+	}
+	oc.queue = remaining
+}

@@ -1,0 +1,70 @@
+package smcore
+
+// Ready-made Picker implementations beyond the three built-in policies.
+// They double as worked examples of the custom-scheduler extension point:
+// a policy only needs candidate inspection (Issuable/NextOp/
+// RemainingInsts) and returns slot indices.
+
+// memFirstPicker prioritizes warps whose next instruction is a
+// global-memory access, issuing loads as early as possible to maximize
+// memory-level parallelism; ties fall back to oldest-first.
+type memFirstPicker struct{}
+
+// NewMemFirstPicker returns the MLP-greedy policy.
+func NewMemFirstPicker() Picker { return memFirstPicker{} }
+
+// Pick implements Picker.
+func (memFirstPicker) Pick(cycle uint64, warps []*Warp, tried func(*Warp) bool) int {
+	best := -1
+	bestMem := false
+	var bestAge uint64
+	for i, w := range warps {
+		if !Issuable(w) || tried(w) {
+			continue
+		}
+		op, _ := NextOp(w)
+		isMem := op.IsGlobalMem()
+		better := false
+		switch {
+		case best < 0:
+			better = true
+		case isMem != bestMem:
+			better = isMem
+		default:
+			better = w.Age < bestAge
+		}
+		if better {
+			best, bestMem, bestAge = i, isMem, w.Age
+		}
+	}
+	return best
+}
+
+// Issued implements Picker (stateless policy).
+func (memFirstPicker) Issued(int, *Warp) {}
+
+// youngestFirstPicker always issues from the most recently assigned warp —
+// a deliberately cache-unfriendly strawman useful as an exploration
+// baseline.
+type youngestFirstPicker struct{}
+
+// NewYoungestFirstPicker returns the youngest-first strawman policy.
+func NewYoungestFirstPicker() Picker { return youngestFirstPicker{} }
+
+// Pick implements Picker.
+func (youngestFirstPicker) Pick(cycle uint64, warps []*Warp, tried func(*Warp) bool) int {
+	best := -1
+	var bestAge uint64
+	for i, w := range warps {
+		if !Issuable(w) || tried(w) {
+			continue
+		}
+		if best < 0 || w.Age > bestAge {
+			best, bestAge = i, w.Age
+		}
+	}
+	return best
+}
+
+// Issued implements Picker.
+func (youngestFirstPicker) Issued(int, *Warp) {}

@@ -1,0 +1,535 @@
+package smcore
+
+import (
+	"fmt"
+
+	"swiftsim/internal/config"
+	"swiftsim/internal/engine"
+	"swiftsim/internal/metrics"
+	"swiftsim/internal/trace"
+)
+
+// UnitSet supplies the execution units of each sub-core. Assemblies choose
+// the modeling style per unit here: the detailed simulator installs
+// cycle-accurate ALUPipelines and LDSTUnits, Swift-Sim-Basic swaps the ALUs
+// for analytical models, Swift-Sim-Memory also swaps the LD/ST unit.
+// Providers may return shared instances (e.g. one DP pipeline per two
+// sub-cores, Table II's "DP:0.5x").
+type UnitSet struct {
+	// ALU returns the unit executing the given arithmetic class
+	// (OpInt, OpSP, OpDP, OpSFU) for sub-core sub of SM smID.
+	ALU func(smID, sub int, class trace.OpClass) Unit
+	// LDST returns the load/store unit for sub-core sub of SM smID.
+	LDST func(smID, sub int) Unit
+	// ICache optionally returns a per-sub-core instruction cache; nil
+	// runs without one (the hybrid configurations simplify it away).
+	ICache func(smID, sub int) *ICache
+	// ModelFrontEnd enables the detailed fetch stage: instructions are
+	// fetched through the ICache into per-warp instruction buffers every
+	// cycle before they become eligible for issue. The hybrid
+	// configurations leave it off (another simplified module).
+	ModelFrontEnd bool
+	// Scheduler optionally installs a custom warp-scheduling policy per
+	// sub-core, overriding the configuration's built-in policy — the
+	// paper's new-warp-scheduler exploration hook. nil keeps the
+	// configured GTO/LRR/oldest-first policy.
+	Scheduler func(smID, sub int) Picker
+}
+
+// residentBlock tracks one thread block resident on an SM.
+type residentBlock struct {
+	sm        *SM
+	index     int // block index within the kernel
+	warps     []*Warp
+	liveWarps int
+	atBarrier int
+	regs      int
+	shmem     int
+}
+
+func (b *residentBlock) barrierArrive() {
+	b.atBarrier++
+	b.maybeRelease()
+}
+
+func (b *residentBlock) maybeRelease() {
+	if b.liveWarps > 0 && b.atBarrier >= b.liveWarps {
+		b.atBarrier = 0
+		for _, w := range b.warps {
+			w.atBarrier = false
+		}
+	}
+}
+
+func (b *residentBlock) warpDone() {
+	b.liveWarps--
+	if b.liveWarps == 0 {
+		b.sm.blockDone(b)
+		return
+	}
+	// A warp exiting may satisfy a barrier its siblings wait on.
+	b.maybeRelease()
+}
+
+// subCore is one warp-scheduler partition of an SM.
+// Front-end parameters of the detailed configuration: per-warp
+// instruction-buffer depth and fetches per cycle per sub-core.
+const (
+	ibufDepth     = 2
+	fetchPerCycle = 2
+)
+
+type subCore struct {
+	sm          *SM
+	index       int
+	warps       []*Warp
+	units       [4]Unit // indexed by trace.OpInt..trace.OpSFU
+	ldst        Unit
+	icache      *ICache // nil when the configuration simplifies it away
+	picker      Picker  // nil = built-in policy
+	last        *Warp   // GTO greedy target
+	cursor      int     // LRR rotation point
+	fetchCursor int     // front-end round-robin point
+	epoch       uint64  // scheduling round for allocation-free retries
+}
+
+// fetch runs the detailed front-end: fill per-warp instruction buffers
+// through the instruction cache, round-robin, up to fetchPerCycle fetches.
+func (sc *subCore) fetch(cycle uint64) {
+	n := len(sc.warps)
+	fetched := 0
+	for i := 1; i <= n && fetched < fetchPerCycle; i++ {
+		idx := (sc.fetchCursor + i) % n
+		w := sc.warps[idx]
+		if w == nil || !w.wantsFetch(ibufDepth) {
+			continue
+		}
+		pc := w.insts[w.pc+w.ibuf].PC
+		if sc.icache != nil && !sc.icache.Ready(pc, cycle) {
+			continue
+		}
+		w.ibuf++
+		fetched++
+		sc.fetchCursor = idx
+	}
+}
+
+// fetchPending reports whether some warp still needs front-end work.
+func (sc *subCore) fetchPending() bool {
+	for _, w := range sc.warps {
+		if w != nil && w.wantsFetch(ibufDepth) {
+			return true
+		}
+	}
+	return false
+}
+
+// issue performs one scheduling round: pick a ready warp per the policy
+// and dispatch its next instruction. Returns true if an instruction issued.
+func (sc *subCore) issue(cycle uint64) bool {
+	sc.epoch++
+	if sc.picker != nil {
+		return sc.issueCustom(cycle)
+	}
+	switch sc.sm.cfg.Scheduler {
+	case config.GTO:
+		if sc.last != nil && sc.last.issuable() && sc.dispatch(sc.last, cycle) {
+			return true
+		}
+		return sc.issueOldest(cycle)
+	case config.LRR:
+		n := len(sc.warps)
+		for i := 1; i <= n; i++ {
+			w := sc.warps[(sc.cursor+i)%n]
+			if w != nil && w.issuable() && sc.dispatch(w, cycle) {
+				sc.cursor = (sc.cursor + i) % n
+				return true
+			}
+		}
+		return false
+	default: // OldestFirst
+		return sc.issueOldest(cycle)
+	}
+}
+
+func (sc *subCore) issueOldest(cycle uint64) bool {
+	// Repeatedly try candidates in age order; a warp whose unit is busy
+	// does not block younger warps (the dispatch stage skips it). Failed
+	// candidates are marked with the round's epoch instead of an
+	// allocated set — this path runs every simulated cycle.
+	for {
+		var best *Warp
+		for _, w := range sc.warps {
+			if w == nil || w.triedEpoch == sc.epoch || !w.issuable() {
+				continue
+			}
+			if best == nil || w.Age < best.Age {
+				best = w
+			}
+		}
+		if best == nil {
+			return false
+		}
+		if sc.dispatch(best, cycle) {
+			return true
+		}
+		best.triedEpoch = sc.epoch
+	}
+}
+
+// dispatch hands w's next instruction to its unit. Control instructions
+// (barrier, exit) retire in the scheduler itself.
+func (sc *subCore) dispatch(w *Warp, cycle uint64) bool {
+	in := w.next()
+	switch {
+	case in.Op == trace.OpBarrier:
+		w.pc++
+		w.consumeIBuf()
+		w.atBarrier = true
+		sc.sm.issued.Inc()
+		sc.last = w
+		w.block.barrierArrive()
+		return true
+	case in.Op == trace.OpExit:
+		w.pc++
+		w.consumeIBuf()
+		w.exited = true
+		sc.sm.issued.Inc()
+		if sc.last == w {
+			sc.last = nil
+		}
+		sc.maybeComplete(w)
+		return true
+	default:
+		var u Unit
+		if in.Op.IsMem() {
+			u = sc.ldst
+		} else {
+			u = sc.units[in.Op]
+		}
+		if !u.TryIssue(cycle, in, sc.completionFn(w, in)) {
+			return false
+		}
+		w.sb.set(in.Dst)
+		w.outstanding++
+		w.pc++
+		w.consumeIBuf()
+		sc.sm.issued.Inc()
+		sc.last = w
+		return true
+	}
+}
+
+func (sc *subCore) completionFn(w *Warp, in *trace.Inst) func() {
+	return func() {
+		w.sb.clear(in.Dst)
+		w.outstanding--
+		sc.maybeComplete(w)
+	}
+}
+
+func (sc *subCore) maybeComplete(w *Warp) {
+	if w.exited && !w.done && w.outstanding == 0 && w.next() == nil {
+		w.done = true
+		w.block.warpDone()
+	}
+}
+
+// anyIssuable reports whether some resident warp could issue (ignoring
+// unit availability); it drives SM.Busy so the engine keeps ticking while
+// forward progress is possible.
+func (sc *subCore) anyIssuable() bool {
+	for _, w := range sc.warps {
+		if w != nil && w.issuable() {
+			return true
+		}
+	}
+	return false
+}
+
+func (sc *subCore) addWarp(w *Warp) {
+	for i, slot := range sc.warps {
+		if slot == nil {
+			sc.warps[i] = w
+			return
+		}
+	}
+	// Capacity is enforced by SM.CanAccept; reaching here is a bug.
+	panic(fmt.Sprintf("smcore: sub-core %d.%d warp slots exhausted", sc.sm.id, sc.index))
+}
+
+func (sc *subCore) removeWarp(w *Warp) {
+	for i, slot := range sc.warps {
+		if slot == w {
+			sc.warps[i] = nil
+			if sc.last == w {
+				sc.last = nil
+			}
+			return
+		}
+	}
+}
+
+// SM is one streaming multiprocessor: sub-cores with warp schedulers,
+// execution units, and residency accounting for blocks, warps, registers
+// and shared memory.
+type SM struct {
+	id        int
+	cfg       config.SM
+	eng       *engine.Engine
+	subcores  []*subCore
+	unitList  []Unit // distinct units across all sub-cores
+	blocks    []*residentBlock
+	nextAge   uint64
+	lastCycle uint64
+	busyCache bool
+	usedWarps int
+	usedRegs  int
+	usedShmem int
+
+	frontEnd bool
+
+	onBlockDone func(sm *SM)
+
+	issued    *metrics.Counter
+	stalls    *metrics.Counter
+	blocksRun *metrics.Counter
+}
+
+// NewSM builds an SM with units supplied by us. onBlockDone is invoked
+// whenever a resident block finishes (the Block Scheduler uses it to
+// assign further blocks and detect kernel completion).
+func NewSM(id int, cfg config.SM, eng *engine.Engine, us UnitSet, g *metrics.Gatherer, onBlockDone func(sm *SM)) *SM {
+	sm := &SM{
+		id:          id,
+		cfg:         cfg,
+		eng:         eng,
+		frontEnd:    us.ModelFrontEnd,
+		onBlockDone: onBlockDone,
+		issued:      g.Counter("sm.issued"),
+		stalls:      g.Counter("sm.stall"),
+		blocksRun:   g.Counter("sm.blocks"),
+	}
+	warpsPerSub := cfg.MaxWarps / cfg.SubCores
+	addUnit := func(u Unit) {
+		// Only cycle-accurate units enter the per-cycle tick list;
+		// analytical units interact purely through scheduled events —
+		// the mechanism behind the hybrid configurations' speed.
+		if u == nil || u.Kind() != engine.CycleAccurate {
+			return
+		}
+		for _, have := range sm.unitList {
+			if have == u {
+				return
+			}
+		}
+		sm.unitList = append(sm.unitList, u)
+	}
+	for s := 0; s < cfg.SubCores; s++ {
+		sc := &subCore{sm: sm, index: s, warps: make([]*Warp, warpsPerSub)}
+		for _, class := range []trace.OpClass{trace.OpInt, trace.OpSP, trace.OpDP, trace.OpSFU} {
+			sc.units[class] = us.ALU(id, s, class)
+			addUnit(sc.units[class])
+		}
+		sc.ldst = us.LDST(id, s)
+		addUnit(sc.ldst)
+		if us.ICache != nil {
+			sc.icache = us.ICache(id, s)
+		}
+		if us.Scheduler != nil {
+			sc.picker = us.Scheduler(id, s)
+		}
+		sm.subcores = append(sm.subcores, sc)
+	}
+	return sm
+}
+
+// ID returns the SM's index.
+func (sm *SM) ID() int { return sm.id }
+
+// Name implements engine.Module.
+func (sm *SM) Name() string { return fmt.Sprintf("SM%d", sm.id) }
+
+// Kind implements engine.Module: the Warp Scheduler & Dispatch module is
+// cycle-accurate in every Swift-Sim assembly in the paper.
+func (sm *SM) Kind() engine.ModelKind { return engine.CycleAccurate }
+
+// Busy implements engine.Ticker: the SM needs per-cycle evaluation while
+// any warp could issue or any cycle-accurate unit holds in-flight work.
+// When every resident warp is blocked on outstanding results, the engine
+// may fast-forward to the next completion event. The value is computed at
+// the end of each Tick (warp wake-ups between ticks arrive only through
+// engine events, so it stays valid until the next tick).
+func (sm *SM) Busy() bool { return sm.busyCache }
+
+func (sm *SM) computeBusy() bool {
+	for _, sc := range sm.subcores {
+		if sc.anyIssuable() {
+			return true
+		}
+	}
+	for _, u := range sm.unitList {
+		if u.Busy() {
+			return true
+		}
+	}
+	for _, sc := range sm.subcores {
+		if sc.icache != nil && sc.icache.Busy(sm.lastCycle+1) {
+			return true
+		}
+		if sm.frontEnd && sc.fetchPending() {
+			return true
+		}
+	}
+	return false
+}
+
+// Tick implements engine.Ticker: advance unit pipelines, then run one
+// scheduling round per sub-core scheduler.
+func (sm *SM) Tick(cycle uint64) {
+	sm.lastCycle = cycle
+	for _, u := range sm.unitList {
+		u.Tick(cycle)
+	}
+	if sm.frontEnd {
+		for _, sc := range sm.subcores {
+			sc.fetch(cycle)
+		}
+	}
+	for _, sc := range sm.subcores {
+		for s := 0; s < sm.cfg.SchedulersPerSubCore; s++ {
+			if !sc.issue(cycle) {
+				if len(sm.blocks) > 0 {
+					sm.stalls.Inc()
+				}
+				break
+			}
+		}
+	}
+	sm.busyCache = sm.computeBusy()
+}
+
+// blockCost returns the warp count, register and shared-memory footprint
+// of one block of k.
+func blockCost(cfg config.SM, k *trace.Kernel) (warps, regs, shmem int) {
+	warps = k.WarpsPerBlock()
+	regs = k.RegsPerThread * k.Block.Count()
+	shmem = k.SharedMemPerBlock
+	return
+}
+
+// CanAccept reports whether the SM has residency resources for one more
+// block of k.
+func (sm *SM) CanAccept(k *trace.Kernel) bool {
+	warps, regs, shmem := blockCost(sm.cfg, k)
+	if len(sm.blocks) >= sm.cfg.MaxBlocks {
+		return false
+	}
+	if sm.usedWarps+warps > sm.cfg.MaxWarps {
+		return false
+	}
+	if sm.usedRegs+regs > sm.cfg.Registers {
+		return false
+	}
+	if sm.usedShmem+shmem > sm.cfg.SharedMemBytes {
+		return false
+	}
+	// Every sub-core must have free warp slots for its share.
+	perSub := make([]int, sm.cfg.SubCores)
+	for i := 0; i < warps; i++ {
+		perSub[i%sm.cfg.SubCores]++
+	}
+	for s, need := range perSub {
+		free := 0
+		for _, slot := range sm.subcores[s].warps {
+			if slot == nil {
+				free++
+			}
+		}
+		if free < need {
+			return false
+		}
+	}
+	return true
+}
+
+// AssignBlock makes block index of k resident, distributing its warps
+// round-robin over the sub-cores. The caller must have checked CanAccept.
+func (sm *SM) AssignBlock(k *trace.Kernel, index int) {
+	warps, regs, shmem := blockCost(sm.cfg, k)
+	rb := &residentBlock{sm: sm, index: index, liveWarps: warps, regs: regs, shmem: shmem}
+	bt := &k.Blocks[index]
+	for wi := 0; wi < warps; wi++ {
+		sm.nextAge++
+		w := &Warp{
+			ID:    sm.id*4096 + index*64 + wi,
+			Age:   sm.nextAge,
+			block: rb,
+			insts: bt.Warps[wi],
+		}
+		if !sm.frontEnd {
+			w.ibuf = -1 // instructions always available
+		}
+		rb.warps = append(rb.warps, w)
+		sm.subcores[wi%sm.cfg.SubCores].addWarp(w)
+	}
+	sm.blocks = append(sm.blocks, rb)
+	sm.usedWarps += warps
+	sm.usedRegs += regs
+	sm.usedShmem += shmem
+	sm.blocksRun.Inc()
+	sm.busyCache = true // newly resident warps have work
+}
+
+// blockDone releases a finished block's resources.
+func (sm *SM) blockDone(rb *residentBlock) {
+	for i, b := range sm.blocks {
+		if b == rb {
+			sm.blocks = append(sm.blocks[:i], sm.blocks[i+1:]...)
+			break
+		}
+	}
+	for wi, w := range rb.warps {
+		sm.subcores[wi%sm.cfg.SubCores].removeWarp(w)
+	}
+	sm.usedWarps -= rb.liveWarpsTotal()
+	sm.usedRegs -= rb.regs
+	sm.usedShmem -= rb.shmem
+	if sm.onBlockDone != nil {
+		sm.onBlockDone(sm)
+	}
+}
+
+func (b *residentBlock) liveWarpsTotal() int { return len(b.warps) }
+
+// ResidentBlocks returns the number of blocks currently resident (for
+// tests and occupancy metrics).
+func (sm *SM) ResidentBlocks() int { return len(sm.blocks) }
+
+// BlocksPerSM returns how many blocks of k fit concurrently on one SM
+// under cfg's residency limits (the classic occupancy calculation). It
+// returns at least 1 for any kernel that fits at all, and 0 for kernels
+// that can never be scheduled.
+func BlocksPerSM(cfg config.SM, k *trace.Kernel) int {
+	warps, regs, shmem := blockCost(cfg, k)
+	n := cfg.MaxBlocks
+	if warps > 0 {
+		if byWarps := cfg.MaxWarps / warps; byWarps < n {
+			n = byWarps
+		}
+	}
+	if regs > 0 {
+		if byRegs := cfg.Registers / regs; byRegs < n {
+			n = byRegs
+		}
+	}
+	if shmem > 0 {
+		if byShmem := cfg.SharedMemBytes / shmem; byShmem < n {
+			n = byShmem
+		}
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}

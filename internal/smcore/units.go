@@ -1,0 +1,114 @@
+package smcore
+
+import (
+	"swiftsim/internal/engine"
+	"swiftsim/internal/metrics"
+	"swiftsim/internal/trace"
+)
+
+// Unit is the fixed interface between the Warp Scheduler & Dispatch module
+// and every execution resource (§III-B2 of the paper): the scheduler hands
+// in an instruction, the unit acknowledges completion by calling done at
+// writeback. Both cycle-accurate pipelines and analytical latency models
+// implement it, which is what makes Swift-Sim's hybrid assemblies possible.
+type Unit interface {
+	engine.Module
+	// TryIssue attempts to accept in at the given cycle; done is invoked
+	// when the instruction's result is written back. It returns false
+	// when the unit cannot accept this cycle (issue-port or pipeline
+	// contention).
+	TryIssue(cycle uint64, in *trace.Inst, done func()) bool
+	// Tick advances cycle-accurate unit state (writeback draining);
+	// analytical units no-op.
+	Tick(cycle uint64)
+	// Busy reports whether the unit holds in-flight work that needs
+	// per-cycle evaluation.
+	Busy() bool
+}
+
+// pipeSlot is one pipeline register; empty slots hold a nil done.
+type pipeSlot struct {
+	done func()
+}
+
+// ALUPipeline is the cycle-accurate arithmetic unit model: an issue port
+// with an initiation interval derived from the lane count, and a pipeline
+// register per latency stage through which every in-flight instruction is
+// physically moved each cycle — the GPGPU-Sim/Accel-Sim modeling style
+// whose per-cycle cost the analytical ALU model of §III-D1 eliminates.
+type ALUPipeline struct {
+	name      string
+	interval  uint64
+	nextIssue uint64
+	stages    []pipeSlot // stages[i] retires in i+1 ticks
+	occupancy int
+
+	issued    *metrics.Counter
+	portStall *metrics.Counter
+}
+
+// NewALUPipeline builds a pipeline with the given execution latency (stage
+// count) and initiation interval (cycles the issue port is held per
+// instruction). wbPerCycle is retained for interface stability; the
+// register pipeline inherently writes back one instruction per cycle.
+func NewALUPipeline(name string, latency, interval, wbPerCycle int, g *metrics.Gatherer) *ALUPipeline {
+	if interval < 1 {
+		interval = 1
+	}
+	if latency < 1 {
+		latency = 1
+	}
+	_ = wbPerCycle
+	return &ALUPipeline{
+		name:      name,
+		interval:  uint64(interval),
+		stages:    make([]pipeSlot, latency),
+		issued:    g.Counter(name + ".issued"),
+		portStall: g.Counter(name + ".port_stall"),
+	}
+}
+
+// Name implements engine.Module.
+func (u *ALUPipeline) Name() string { return u.name }
+
+// Kind implements engine.Module.
+func (u *ALUPipeline) Kind() engine.ModelKind { return engine.CycleAccurate }
+
+// Busy implements Unit.
+func (u *ALUPipeline) Busy() bool { return u.occupancy > 0 }
+
+// TryIssue implements Unit: place the instruction in the deepest pipeline
+// register; it reaches writeback after latency ticks.
+func (u *ALUPipeline) TryIssue(cycle uint64, in *trace.Inst, done func()) bool {
+	if cycle < u.nextIssue {
+		u.portStall.Inc()
+		return false
+	}
+	last := len(u.stages) - 1
+	if u.stages[last].done != nil {
+		u.portStall.Inc()
+		return false
+	}
+	u.nextIssue = cycle + u.interval
+	u.issued.Inc()
+	u.stages[last].done = done
+	u.occupancy++
+	return true
+}
+
+// Tick implements Unit: retire the head register, then advance every
+// instruction one stage — per-cycle pipeline-register movement, as in the
+// detailed simulators this configuration reproduces.
+func (u *ALUPipeline) Tick(cycle uint64) {
+	if head := u.stages[0].done; head != nil {
+		u.stages[0].done = nil
+		u.occupancy--
+		head()
+	}
+	for i := 1; i < len(u.stages); i++ {
+		if u.stages[i].done != nil && u.stages[i-1].done == nil {
+			u.stages[i-1].done = u.stages[i].done
+			u.stages[i].done = nil
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Package stats provides the small statistical helpers the evaluation
+// harness uses: geometric means (the paper reports geometric-mean
+// speedups), arithmetic means, and relative cycle-prediction errors.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Geomean returns the geometric mean of xs. It returns 0 for an empty
+// slice and NaN if any value is non-positive.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// RelError returns |predicted-actual| / actual — the prediction-error
+// metric of the paper's Figures 4 and 6. It returns NaN when actual is 0.
+func RelError(predicted, actual float64) float64 {
+	if actual == 0 {
+		return math.NaN()
+	}
+	return math.Abs(predicted-actual) / actual
+}
+
+// Speedup returns baseline/measured — how many times faster "measured" is
+// than "baseline". It returns NaN when measured is 0.
+func Speedup(baseline, measured float64) float64 {
+	if measured == 0 {
+		return math.NaN()
+	}
+	return baseline / measured
+}
+
+// Pct formats a fraction as a percentage string with one decimal.
+func Pct(x float64) string {
+	return fmt.Sprintf("%.1f%%", 100*x)
+}

@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); g != 4 {
+		t.Errorf("Geomean(2,8) = %v, want 4", g)
+	}
+	if g := Geomean([]float64{5}); g != 5 {
+		t.Errorf("Geomean(5) = %v, want 5", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Errorf("Geomean(nil) = %v, want 0", g)
+	}
+	if g := Geomean([]float64{1, -2}); !math.IsNaN(g) {
+		t.Errorf("Geomean with negative = %v, want NaN", g)
+	}
+	if g := Geomean([]float64{1, 0}); !math.IsNaN(g) {
+		t.Errorf("Geomean with zero = %v, want NaN", g)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("Mean = %v, want 2", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", m)
+	}
+}
+
+func TestRelError(t *testing.T) {
+	if e := RelError(110, 100); math.Abs(e-0.1) > 1e-12 {
+		t.Errorf("RelError(110,100) = %v, want 0.1", e)
+	}
+	if e := RelError(90, 100); math.Abs(e-0.1) > 1e-12 {
+		t.Errorf("RelError(90,100) = %v, want 0.1", e)
+	}
+	if e := RelError(1, 0); !math.IsNaN(e) {
+		t.Errorf("RelError with zero actual = %v, want NaN", e)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if s := Speedup(100, 10); s != 10 {
+		t.Errorf("Speedup = %v, want 10", s)
+	}
+	if s := Speedup(100, 0); !math.IsNaN(s) {
+		t.Errorf("Speedup with zero = %v, want NaN", s)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.226); got != "22.6%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+// TestQuickGeomeanBounds: the geometric mean of positive values lies
+// between their minimum and maximum.
+func TestQuickGeomeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g := Geomean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

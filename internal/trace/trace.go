@@ -1,0 +1,279 @@
+// Package trace defines Swift-Sim's architecture-independent application
+// trace representation and its text serialization (the ".sgt" format).
+//
+// The paper's frontend captures traces with an NVBit extension on real
+// NVIDIA hardware and stresses that the traces are independent of the GPU
+// being simulated. This package is the equivalent substrate: traces carry
+// only what the performance model needs — per-warp instruction streams with
+// register dependencies, opcode classes, active masks, and per-thread memory
+// addresses for load/store instructions.
+package trace
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// OpClass classifies an instruction by the execution unit that retires it.
+type OpClass uint8
+
+const (
+	// OpInt executes on the INT units (integer ALU, address arithmetic).
+	OpInt OpClass = iota
+	// OpSP executes on the single-precision FP32 units.
+	OpSP
+	// OpDP executes on the double-precision FP64 units.
+	OpDP
+	// OpSFU executes on the special-function units (transcendentals).
+	OpSFU
+	// OpLoadGlobal is a load from global memory through L1/L2/DRAM.
+	OpLoadGlobal
+	// OpStoreGlobal is a store to global memory (L1 write-through).
+	OpStoreGlobal
+	// OpLoadShared is a load from per-SM shared memory.
+	OpLoadShared
+	// OpStoreShared is a store to per-SM shared memory.
+	OpStoreShared
+	// OpBarrier is a block-wide synchronization (__syncthreads).
+	OpBarrier
+	// OpExit terminates the warp.
+	OpExit
+
+	numOpClasses
+)
+
+var opNames = [numOpClasses]string{
+	"INT", "SP", "DP", "SFU", "LDG", "STG", "LDS", "STS", "BAR", "EXIT",
+}
+
+// String returns the trace-file mnemonic of op.
+func (op OpClass) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("OpClass(%d)", uint8(op))
+}
+
+// ParseOpClass converts a trace-file mnemonic into an OpClass.
+func ParseOpClass(s string) (OpClass, error) {
+	for i, n := range opNames {
+		if n == s {
+			return OpClass(i), nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown opcode class %q", s)
+}
+
+// IsGlobalMem reports whether op accesses global memory.
+func (op OpClass) IsGlobalMem() bool { return op == OpLoadGlobal || op == OpStoreGlobal }
+
+// IsSharedMem reports whether op accesses shared memory.
+func (op OpClass) IsSharedMem() bool { return op == OpLoadShared || op == OpStoreShared }
+
+// IsMem reports whether op is handled by the LD/ST unit.
+func (op OpClass) IsMem() bool { return op.IsGlobalMem() || op.IsSharedMem() }
+
+// IsALU reports whether op executes on an arithmetic unit
+// (INT/SP/DP/SFU).
+func (op OpClass) IsALU() bool { return op <= OpSFU }
+
+// Reg identifies an architectural register within a warp. Register 0 is
+// reserved to mean "none" (no destination / unused source slot).
+type Reg uint8
+
+// RegNone is the absent-register sentinel.
+const RegNone Reg = 0
+
+// MaxReg is the largest usable register index.
+const MaxReg Reg = 255
+
+// Inst is one warp-level instruction.
+type Inst struct {
+	// PC is the program counter; instructions at the same PC across
+	// warps are "the same instruction" for the per-PC analytical memory
+	// model (Eq. 1 of the paper).
+	PC uint64
+	// Op is the opcode class.
+	Op OpClass
+	// Dst is the destination register (RegNone if none).
+	Dst Reg
+	// Src holds up to two source registers (RegNone padding).
+	Src [2]Reg
+	// ActiveMask is the per-lane execution mask (bit i = lane i active).
+	// Warp size is fixed at 32 lanes.
+	ActiveMask uint32
+	// Addrs holds one byte address per active lane, in ascending lane
+	// order, for global and shared memory instructions; it is empty for
+	// all other opcode classes.
+	Addrs []uint64
+}
+
+// ActiveLanes returns the number of active lanes.
+func (in Inst) ActiveLanes() int { return bits.OnesCount32(in.ActiveMask) }
+
+// Dim3 is a CUDA-style three-dimensional extent.
+type Dim3 struct {
+	X, Y, Z int
+}
+
+// Count returns the total number of elements in the extent.
+func (d Dim3) Count() int { return d.X * d.Y * d.Z }
+
+// String renders the extent as "x,y,z".
+func (d Dim3) String() string { return fmt.Sprintf("%d,%d,%d", d.X, d.Y, d.Z) }
+
+// WarpTrace is the instruction stream of a single warp.
+type WarpTrace []Inst
+
+// BlockTrace holds the warp traces of one thread block.
+type BlockTrace struct {
+	// Warps is indexed by the warp's index within the block.
+	Warps []WarpTrace
+}
+
+// Insts returns the total instruction count in the block.
+func (b BlockTrace) Insts() int {
+	n := 0
+	for _, w := range b.Warps {
+		n += len(w)
+	}
+	return n
+}
+
+// Kernel is one kernel launch: a grid of thread blocks plus the static
+// resources each block consumes (which bound SM occupancy).
+type Kernel struct {
+	// Name identifies the kernel.
+	Name string
+	// Grid and Block are the launch dimensions.
+	Grid, Block Dim3
+	// RegsPerThread is the register footprint of one thread.
+	RegsPerThread int
+	// SharedMemPerBlock is the static shared-memory footprint of one
+	// block in bytes.
+	SharedMemPerBlock int
+	// Blocks holds one BlockTrace per thread block, in linearized grid
+	// order.
+	Blocks []BlockTrace
+}
+
+// WarpSize is the fixed number of threads per warp.
+const WarpSize = 32
+
+// NumBlocks returns the number of thread blocks in the launch.
+func (k *Kernel) NumBlocks() int { return len(k.Blocks) }
+
+// WarpsPerBlock returns the number of warps per thread block.
+func (k *Kernel) WarpsPerBlock() int {
+	return (k.Block.Count() + WarpSize - 1) / WarpSize
+}
+
+// Insts returns the total dynamic instruction count of the kernel.
+func (k *Kernel) Insts() int {
+	n := 0
+	for i := range k.Blocks {
+		n += k.Blocks[i].Insts()
+	}
+	return n
+}
+
+// Validate checks structural invariants of the kernel trace and returns a
+// descriptive error for the first violation found.
+func (k *Kernel) Validate() error {
+	if k.Name == "" {
+		return fmt.Errorf("trace: kernel with empty name")
+	}
+	if k.Grid.Count() <= 0 || k.Block.Count() <= 0 {
+		return fmt.Errorf("trace: kernel %s: non-positive grid (%v) or block (%v)", k.Name, k.Grid, k.Block)
+	}
+	if k.Block.Count() > 1024 {
+		return fmt.Errorf("trace: kernel %s: block of %d threads exceeds 1024", k.Name, k.Block.Count())
+	}
+	if len(k.Blocks) != k.Grid.Count() {
+		return fmt.Errorf("trace: kernel %s: %d block traces for grid of %d", k.Name, len(k.Blocks), k.Grid.Count())
+	}
+	if k.RegsPerThread <= 0 {
+		return fmt.Errorf("trace: kernel %s: RegsPerThread must be positive, got %d", k.Name, k.RegsPerThread)
+	}
+	if k.SharedMemPerBlock < 0 {
+		return fmt.Errorf("trace: kernel %s: negative SharedMemPerBlock", k.Name)
+	}
+	wpb := k.WarpsPerBlock()
+	for bi := range k.Blocks {
+		b := &k.Blocks[bi]
+		if len(b.Warps) != wpb {
+			return fmt.Errorf("trace: kernel %s block %d: %d warps, want %d", k.Name, bi, len(b.Warps), wpb)
+		}
+		for wi, w := range b.Warps {
+			if err := validateWarp(w); err != nil {
+				return fmt.Errorf("trace: kernel %s block %d warp %d: %w", k.Name, bi, wi, err)
+			}
+		}
+	}
+	return nil
+}
+
+func validateWarp(w WarpTrace) error {
+	if len(w) == 0 {
+		return fmt.Errorf("empty warp trace")
+	}
+	for i := range w {
+		in := &w[i]
+		if in.Op >= numOpClasses {
+			return fmt.Errorf("inst %d: invalid opcode class %d", i, in.Op)
+		}
+		if in.ActiveMask == 0 && in.Op != OpExit && in.Op != OpBarrier {
+			return fmt.Errorf("inst %d (%v): zero active mask", i, in.Op)
+		}
+		if in.Op.IsMem() {
+			if got, want := len(in.Addrs), in.ActiveLanes(); got != want {
+				return fmt.Errorf("inst %d (%v): %d addresses for %d active lanes", i, in.Op, got, want)
+			}
+		} else if len(in.Addrs) != 0 {
+			return fmt.Errorf("inst %d (%v): non-memory instruction carries addresses", i, in.Op)
+		}
+		if in.Op == OpExit && i != len(w)-1 {
+			return fmt.Errorf("inst %d: EXIT before end of warp trace", i)
+		}
+	}
+	if last := w[len(w)-1]; last.Op != OpExit {
+		return fmt.Errorf("warp trace does not end in EXIT")
+	}
+	return nil
+}
+
+// App is a traced application: an ordered list of kernel launches.
+type App struct {
+	// Name is the application name as used in the paper's figures
+	// (e.g. "BFS", "NW", "GRU").
+	Name string
+	// Suite is the benchmark suite the application comes from.
+	Suite string
+	// Kernels are executed back to back in order.
+	Kernels []*Kernel
+}
+
+// Insts returns the total dynamic instruction count of the application.
+func (a *App) Insts() int {
+	n := 0
+	for _, k := range a.Kernels {
+		n += k.Insts()
+	}
+	return n
+}
+
+// Validate checks the application and all its kernels.
+func (a *App) Validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("trace: app with empty name")
+	}
+	if len(a.Kernels) == 0 {
+		return fmt.Errorf("trace: app %s has no kernels", a.Name)
+	}
+	for _, k := range a.Kernels {
+		if err := k.Validate(); err != nil {
+			return fmt.Errorf("app %s: %w", a.Name, err)
+		}
+	}
+	return nil
+}

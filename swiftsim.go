@@ -1,0 +1,242 @@
+// Package swiftsim is the public API of the Swift-Sim reproduction: a
+// modular and hybrid GPU architecture simulation framework (Xu et al.,
+// DATE 2025).
+//
+// Swift-Sim simulates trace-driven GPU workloads with a modular
+// performance model in which every component — block scheduler, warp
+// scheduler & dispatch, execution units, LD/ST unit, caches, NoC, DRAM —
+// sits behind a fixed interface and can be modeled either cycle-accurately
+// or analytically. Three ready-made configurations mirror the paper:
+//
+//	Detailed          fully cycle-accurate baseline (Accel-Sim class)
+//	SwiftSimBasic     analytical ALU pipelines (§III-D1)
+//	SwiftSimMemory    analytical ALUs + analytical memory model (§III-D2)
+//
+// A minimal session:
+//
+//	app, _ := swiftsim.GenerateWorkload("BFS", 1.0)
+//	res, _ := swiftsim.Simulate(app, swiftsim.RTX2080Ti(), swiftsim.Config{
+//		Simulator: swiftsim.SwiftSimMemory,
+//	})
+//	fmt.Println(res.Cycles)
+package swiftsim
+
+import (
+	"io"
+
+	"swiftsim/internal/config"
+	"swiftsim/internal/hwmodel"
+	"swiftsim/internal/metrics"
+	"swiftsim/internal/runner"
+	"swiftsim/internal/sim"
+	"swiftsim/internal/smcore"
+	"swiftsim/internal/trace"
+	"swiftsim/internal/workload"
+)
+
+// Simulator selects one of the framework's assembled configurations.
+type Simulator = sim.Kind
+
+// The three configurations evaluated in the paper.
+const (
+	// Detailed is the fully cycle-accurate baseline simulator.
+	Detailed Simulator = sim.Detailed
+	// SwiftSimBasic replaces the ALU pipelines with the analytical model
+	// of §III-D1; the memory hierarchy stays cycle-accurate.
+	SwiftSimBasic Simulator = sim.Basic
+	// SwiftSimMemory additionally replaces the LD/ST unit and the whole
+	// memory hierarchy with the Eq. 1 analytical model of §III-D2.
+	SwiftSimMemory Simulator = sim.Memory
+	// SwiftSimL2 keeps the LD/ST units and L1 cycle-accurate but swaps
+	// the NoC, L2 and DRAM for an analytical backend — a further
+	// hybridization point at the memory-port boundary.
+	SwiftSimL2 Simulator = sim.L2Hybrid
+)
+
+// HitRateSource selects where SwiftSimMemory's Eq. 1 hit rates come from.
+type HitRateSource = sim.HitRateSource
+
+const (
+	// FunctionalCaches extracts hit rates with timeless sectored caches
+	// (works with every replacement policy).
+	FunctionalCaches HitRateSource = sim.FunctionalCaches
+	// ReuseDistance extracts hit rates with LRU stack-distance theory.
+	ReuseDistance HitRateSource = sim.ReuseDistance
+)
+
+// GPU is a hardware configuration (see the config file format in
+// internal/config and the presets below).
+type GPU = config.GPU
+
+// RTX2080Ti returns the NVIDIA RTX 2080 Ti configuration of Table II.
+func RTX2080Ti() GPU { return config.RTX2080Ti() }
+
+// RTX3060 returns the NVIDIA RTX 3060 configuration of Table I.
+func RTX3060() GPU { return config.RTX3060() }
+
+// RTX3090 returns the NVIDIA RTX 3090 configuration of Table I.
+func RTX3090() GPU { return config.RTX3090() }
+
+// GPUPreset looks up a preset configuration by name ("RTX2080Ti",
+// "RTX3060", "RTX3090").
+func GPUPreset(name string) (GPU, bool) { return config.Preset(name) }
+
+// LoadGPU reads a hardware configuration file (key = value format; see
+// WriteGPU for the exact keys). Files may set "gpu.base = <preset>" and
+// override individual parameters.
+func LoadGPU(path string) (GPU, error) { return config.LoadFile(path) }
+
+// WriteGPU writes a configuration file for g.
+func WriteGPU(path string, g GPU) error { return config.WriteFile(path, g) }
+
+// App is a traced GPU application: an ordered list of kernel launches with
+// per-warp instruction streams.
+type App = trace.App
+
+// Kernel is one kernel launch within an App.
+type Kernel = trace.Kernel
+
+// GenerateWorkload synthesizes one of the 20 bundled benchmark
+// applications (Rodinia, Polybench, Mars, Tango, Pannotia) at the given
+// problem scale (1.0 = default size). See Workloads for the catalog.
+func GenerateWorkload(name string, scale float64) (*App, error) {
+	return workload.Generate(name, scale)
+}
+
+// Workloads lists the bundled application names grouped by suite order.
+func Workloads() []string { return workload.Names() }
+
+// WorkloadInfo describes one bundled application.
+type WorkloadInfo struct {
+	Name        string
+	Suite       string
+	Description string
+	MemoryBound bool
+}
+
+// WorkloadCatalog returns the full application catalog.
+func WorkloadCatalog() []WorkloadInfo {
+	specs := workload.Catalog()
+	out := make([]WorkloadInfo, len(specs))
+	for i, s := range specs {
+		out[i] = WorkloadInfo{Name: s.Name, Suite: s.Suite, Description: s.Description, MemoryBound: s.MemoryBound}
+	}
+	return out
+}
+
+// ReadTrace parses a .sgt trace file produced by WriteTrace or the
+// tracegen tool.
+func ReadTrace(path string) (*App, error) { return trace.ReadFile(path) }
+
+// WriteTrace serializes an application to a .sgt trace file.
+func WriteTrace(path string, app *App) error { return trace.WriteFile(path, app) }
+
+// WarpPicker is a custom warp-scheduling policy: the extension point of
+// the paper's motivating scenario (exploring new warp schedulers while
+// everything else is modeled analytically). Implementations see the
+// resident warps of one sub-core each cycle and return the slot index to
+// issue from; see NewMemFirstPicker for a worked example.
+type WarpPicker = smcore.Picker
+
+// Warp is the per-warp execution context a WarpPicker inspects.
+type Warp = smcore.Warp
+
+// Candidate-inspection helpers for WarpPicker implementations.
+var (
+	// PickerIssuable reports whether a warp can issue this cycle.
+	PickerIssuable = smcore.Issuable
+	// PickerNextOp returns a warp's next opcode class.
+	PickerNextOp = smcore.NextOp
+	// PickerRemainingInsts returns how many instructions a warp still
+	// has to issue.
+	PickerRemainingInsts = smcore.RemainingInsts
+)
+
+// NewMemFirstPicker returns a policy that prioritizes warps about to issue
+// global-memory instructions (maximizing memory-level parallelism).
+func NewMemFirstPicker() WarpPicker { return smcore.NewMemFirstPicker() }
+
+// NewYoungestFirstPicker returns the youngest-first strawman policy.
+func NewYoungestFirstPicker() WarpPicker { return smcore.NewYoungestFirstPicker() }
+
+// Config selects how Simulate models the GPU.
+type Config struct {
+	// Simulator picks the configuration (default Detailed).
+	Simulator Simulator
+	// HitRates picks SwiftSimMemory's hit-rate source.
+	HitRates HitRateSource
+	// MaxCycles bounds simulated time per kernel (0 = one billion).
+	MaxCycles uint64
+	// Scheduler optionally installs a custom warp-scheduling policy per
+	// sub-core (nil keeps the GPU configuration's built-in policy).
+	Scheduler func(smID, subCore int) WarpPicker
+	// SampleBlocks in (0,1) enables wave-aware block-sampled simulation:
+	// a prefix of each kernel's blocks is simulated and cycles are
+	// extrapolated by wave count. 0 or 1 simulates everything.
+	SampleBlocks float64
+}
+
+// Result is the outcome of one simulation (see sim.Result for the field
+// documentation).
+type Result = sim.Result
+
+// Simulate runs app on gpu under cfg.
+func Simulate(app *App, gpu GPU, cfg Config) (*Result, error) {
+	return sim.Run(app, gpu, sim.Options{
+		Kind:         cfg.Simulator,
+		HitRates:     cfg.HitRates,
+		MaxCycles:    cfg.MaxCycles,
+		Scheduler:    cfg.Scheduler,
+		SampleBlocks: cfg.SampleBlocks,
+	})
+}
+
+// SimulateHardware runs the golden "real hardware" reference model used in
+// place of physical GPUs for validation experiments (see DESIGN.md).
+func SimulateHardware(app *App, gpu GPU) (*Result, error) {
+	return hwmodel.Run(app, gpu, hwmodel.DefaultParams())
+}
+
+// Job is one simulation for SimulateAll.
+type Job struct {
+	App *App
+	GPU GPU
+	Cfg Config
+}
+
+// Outcome pairs a job's result with its error.
+type Outcome struct {
+	Result *Result
+	Err    error
+}
+
+// SimulateAll runs jobs on a worker pool of the given size (threads <= 0
+// uses all CPUs), in job order — the parallel simulation mode of §IV-B2.
+func SimulateAll(jobs []Job, threads int) []Outcome {
+	rjobs := make([]runner.Job, len(jobs))
+	for i, j := range jobs {
+		rjobs[i] = runner.Job{App: j.App, GPU: j.GPU, Opts: sim.Options{
+			Kind:         j.Cfg.Simulator,
+			HitRates:     j.Cfg.HitRates,
+			MaxCycles:    j.Cfg.MaxCycles,
+			Scheduler:    j.Cfg.Scheduler,
+			SampleBlocks: j.Cfg.SampleBlocks,
+		}}
+	}
+	outs := runner.RunAll(rjobs, threads)
+	res := make([]Outcome, len(outs))
+	for i, o := range outs {
+		res[i] = Outcome{Result: o.Result, Err: o.Err}
+	}
+	return res
+}
+
+// WriteMetricsReport formats a result's counters (with derived miss rates)
+// to w — the Metrics Gatherer output of §III-C.
+func WriteMetricsReport(w io.Writer, res *Result) error {
+	g := metrics.New()
+	for name, v := range res.Metrics {
+		g.Set(name, v)
+	}
+	return g.Report(w)
+}
