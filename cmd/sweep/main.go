@@ -2,57 +2,93 @@
 // Table II, Figure 4 (error + speedup on the RTX 2080 Ti), Figure 5
 // (speedup contribution analysis) and Figure 6 (error across three GPUs).
 //
+// Sweeps are fault tolerant: a job that fails (bad trace, unschedulable
+// kernel, per-job timeout, panic inside a module) is excluded from its
+// figure and reported, while the remaining jobs complete. Ctrl-C cancels
+// the whole sweep promptly.
+//
+// Exit codes: 0 — everything succeeded; 1 — the sweep itself could not run
+// (bad flags, unknown experiment or application); 2 — the sweep completed
+// but one or more jobs failed (figures rendered from the successful
+// subset).
+//
 // Usage:
 //
-//	sweep -exp fig4 [-scale 1.0] [-apps BFS,NW,GRU] [-threads 8]
+//	sweep -exp fig4 [-scale 1.0] [-apps BFS,NW,GRU] [-threads 8] [-job-timeout 2m]
 //	sweep -exp all
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"swiftsim/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|all")
-	scale := flag.Float64("scale", 1.0, "workload problem scale")
-	apps := flag.String("apps", "", "comma-separated application subset (default: all 20)")
-	threads := flag.Int("threads", 0, "parallel workers for fig5 (0 = NumCPU)")
-	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(realMain(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	p := experiments.Params{Scale: *scale, Threads: *threads}
+// realMain runs the sweep and returns the process exit code. Split from
+// main so tests can drive the full command, including exit codes.
+func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|all")
+	scale := fs.Float64("scale", 1.0, "workload problem scale")
+	apps := fs.String("apps", "", "comma-separated application subset (default: all 20)")
+	threads := fs.Int("threads", 0, "parallel workers for fig5 (0 = NumCPU)")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	p := experiments.Params{
+		Scale:      *scale,
+		Threads:    *threads,
+		Ctx:        ctx,
+		JobTimeout: *jobTimeout,
+	}
 	if *apps != "" {
 		p.Apps = strings.Split(*apps, ",")
 	}
 
+	var failures []experiments.Failure
 	run := func(name string) error {
 		switch name {
 		case "table1":
-			experiments.Table1(os.Stdout)
+			experiments.Table1(stdout)
 		case "table2":
-			experiments.Table2(os.Stdout)
+			experiments.Table2(stdout)
 		case "fig4":
 			res, err := experiments.Figure4(p)
 			if err != nil {
 				return err
 			}
-			res.Print(os.Stdout)
+			res.Print(stdout)
+			failures = append(failures, res.Failed...)
 		case "fig5":
 			res, err := experiments.Figure5(p)
 			if err != nil {
 				return err
 			}
-			res.Print(os.Stdout)
+			res.Print(stdout)
+			failures = append(failures, res.Failed...)
 		case "fig6":
 			res, err := experiments.Figure6(p)
 			if err != nil {
 				return err
 			}
-			res.Print(os.Stdout)
+			res.Print(stdout)
+			failures = append(failures, res.Failed...)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -65,11 +101,19 @@ func main() {
 	}
 	for i, name := range names {
 		if i > 0 {
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
 		if err := run(name); err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "sweep:", err)
+			return 1
 		}
 	}
+	if len(failures) > 0 {
+		fmt.Fprintf(stderr, "sweep: %d job(s) failed; figures rendered from the successful subset:\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(stderr, "  %s\n", f)
+		}
+		return 2
+	}
+	return 0
 }

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func runSweep(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw strings.Builder
+	code = realMain(context.Background(), args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestExitZeroOnSuccess(t *testing.T) {
+	code, out, stderr := runSweep(t, "-exp", "table1")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(out, "Table I") {
+		t.Errorf("missing table output:\n%s", out)
+	}
+}
+
+func TestExitOneOnBadExperiment(t *testing.T) {
+	code, _, stderr := runSweep(t, "-exp", "nonsense")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "unknown experiment") {
+		t.Errorf("stderr does not name the problem:\n%s", stderr)
+	}
+}
+
+func TestExitOneOnBadFlag(t *testing.T) {
+	if code, _, _ := runSweep(t, "-no-such-flag"); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+}
+
+func TestExitOneOnUnknownApp(t *testing.T) {
+	code, _, stderr := runSweep(t, "-exp", "fig4", "-apps", "NOPE")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, stderr)
+	}
+}
+
+// TestExitTwoOnFailedJobs: an unmeetable per-job deadline makes every
+// fig4 simulation fail; the sweep completes, renders the (empty) figure
+// and exits 2 with a failure report.
+func TestExitTwoOnFailedJobs(t *testing.T) {
+	code, out, stderr := runSweep(t,
+		"-exp", "fig4", "-apps", "BFS", "-scale", "0.1", "-job-timeout", "1ns")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(out, "Figure 4") {
+		t.Errorf("figure not rendered:\n%s", out)
+	}
+	if !strings.Contains(stderr, "job(s) failed") || !strings.Contains(stderr, "BFS") {
+		t.Errorf("failure report missing:\n%s", stderr)
+	}
+}
+
+// TestCanceledContext: a canceled sweep context is an operational failure,
+// not a silent success.
+func TestCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errw strings.Builder
+	code := realMain(ctx, []string{"-exp", "fig4", "-apps", "BFS", "-scale", "0.1"}, &out, &errw)
+	if code == 0 {
+		t.Fatalf("canceled sweep exited 0; stdout:\n%s", out.String())
+	}
+}

@@ -14,21 +14,26 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"swiftsim"
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "swiftsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	appName := flag.String("app", "", "bundled workload name (see -list)")
 	scale := flag.Float64("scale", 1.0, "workload problem scale")
 	tracePath := flag.String("trace", "", ".sgt trace file to simulate instead of -app")
@@ -37,6 +42,7 @@ func run() error {
 	simName := flag.String("sim", "detailed", "simulator: detailed|basic|memory|l2")
 	hitSrc := flag.String("hitrates", "functional", "memory-model hit-rate source: functional|reuse")
 	sample := flag.Float64("sample", 0, "block-sampling fraction in (0,1); 0 = full simulation")
+	timeout := flag.Duration("timeout", 0, "wall-clock deadline for the simulation (0 = none)")
 	showMetrics := flag.Bool("metrics", false, "print the full Metrics Gatherer report")
 	list := flag.Bool("list", false, "list bundled workloads and exit")
 	flag.Parse()
@@ -102,7 +108,12 @@ func run() error {
 		return fmt.Errorf("unknown hit-rate source %q (want functional|reuse)", *hitSrc)
 	}
 
-	res, err := swiftsim.Simulate(app, gpu, cfg)
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := swiftsim.SimulateCtx(ctx, app, gpu, cfg)
 	if err != nil {
 		return err
 	}

@@ -13,6 +13,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 )
 
@@ -200,6 +201,18 @@ var ErrDeadlock = fmt.Errorf("engine: deadlock: all modules idle but simulation 
 // ErrCycleLimit is returned by Run when maxCycles elapses first.
 var ErrCycleLimit = fmt.Errorf("engine: cycle limit reached")
 
+// ErrCanceled is returned by RunCtx when the context is canceled or its
+// deadline expires before the simulation completes. The returned error
+// also wraps the context's error, so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) report the cause.
+var ErrCanceled = fmt.Errorf("engine: run canceled")
+
+// ctxPollInterval is how many scheduler-loop iterations pass between
+// context polls. Polling a channel every cycle would dominate the hot
+// loop; at 4096 iterations cancellation latency stays far below a
+// millisecond of host time while the overhead is unmeasurable.
+const ctxPollInterval = 4096
+
 // Run advances the simulation until done reports true. It returns the final
 // cycle. maxCycles (0 = unlimited) bounds simulated time to protect against
 // livelock in misconfigured assemblies.
@@ -209,10 +222,34 @@ var ErrCycleLimit = fmt.Errorf("engine: cycle limit reached")
 // cycle completes, the engine advances time directly to the next pending
 // event.
 func (e *Engine) Run(done func() bool, maxCycles uint64) (uint64, error) {
+	return e.RunCtx(nil, done, maxCycles)
+}
+
+// RunCtx is Run with cooperative cancellation: the context is polled every
+// few thousand scheduler iterations and, once canceled, the run stops at
+// the current cycle with an error wrapping both ErrCanceled and ctx.Err().
+// A nil ctx behaves exactly like Run.
+func (e *Engine) RunCtx(ctx context.Context, done func() bool, maxCycles uint64) (uint64, error) {
 	if done() {
 		return e.cycle, nil
 	}
+	var cancelCh <-chan struct{}
+	if ctx != nil {
+		cancelCh = ctx.Done()
+	}
+	poll := ctxPollInterval // poll on the first iteration: catch pre-canceled contexts
 	for {
+		if cancelCh != nil {
+			poll++
+			if poll >= ctxPollInterval {
+				poll = 0
+				select {
+				case <-cancelCh:
+					return e.cycle, fmt.Errorf("%w at cycle %d: %w", ErrCanceled, e.cycle, ctx.Err())
+				default:
+				}
+			}
+		}
 		if maxCycles > 0 && e.cycle >= maxCycles {
 			return e.cycle, fmt.Errorf("%w (%d cycles)", ErrCycleLimit, maxCycles)
 		}

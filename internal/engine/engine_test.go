@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sort"
@@ -257,5 +258,59 @@ func TestQuickHeap(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunCtxPreCanceled: an already-canceled context stops the run on the
+// first scheduler iteration, and the error exposes both ErrCanceled and
+// the context cause.
+func TestRunCtxPreCanceled(t *testing.T) {
+	e := New()
+	tk := &fakeTicker{name: "busy", busyUntil: 1 << 40}
+	e.Register(tk)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.RunCtx(ctx, func() bool { return false }, 0)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled in chain, got %v", err)
+	}
+	if tk.ticks > ctxPollInterval {
+		t.Errorf("engine ticked %d times after pre-cancel", tk.ticks)
+	}
+}
+
+// TestRunCtxCancelMidRun: cancellation during a run stops the engine
+// within one poll interval of the cancel point.
+func TestRunCtxCancelMidRun(t *testing.T) {
+	e := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	const cancelAt = 10 * ctxPollInterval
+	tk := &fakeTicker{name: "busy", busyUntil: 1 << 40}
+	tk.onTick = func(cycle uint64) {
+		if cycle == cancelAt {
+			cancel()
+		}
+	}
+	e.Register(tk)
+	cyc, err := e.RunCtx(ctx, func() bool { return false }, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if cyc < cancelAt || cyc > cancelAt+2*ctxPollInterval {
+		t.Errorf("stopped at cycle %d, want within one poll interval of %d", cyc, cancelAt)
+	}
+}
+
+// TestRunCtxNilContext: a nil context behaves exactly like Run.
+func TestRunCtxNilContext(t *testing.T) {
+	e := New()
+	done := false
+	e.Schedule(42, func() { done = true })
+	cyc, err := e.RunCtx(nil, func() bool { return done }, 0)
+	if err != nil || cyc != 42 {
+		t.Fatalf("RunCtx(nil) = %d, %v; want 42, nil", cyc, err)
 	}
 }

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -38,6 +39,48 @@ type Params struct {
 	Threads int
 	// HW holds the golden-model coefficients (zero value = defaults).
 	HW hwmodel.Params
+	// Ctx cancels the whole experiment (nil = context.Background).
+	Ctx context.Context
+	// JobTimeout bounds each simulation's wall-clock time (0 = none). A
+	// job exceeding it is recorded as a Failure; the figure renders from
+	// the remaining jobs.
+	JobTimeout time.Duration
+}
+
+// Failure identifies one failed simulation within an experiment. Figures
+// render from the successful subset; failures are carried alongside so
+// callers (cmd/sweep) can report them and exit non-zero.
+type Failure struct {
+	// GPU and App identify the job; Stage names the simulator or model
+	// that failed ("hwmodel", "Detailed", "Swift-Sim-Memory", ...).
+	GPU   string
+	App   string
+	Stage string
+	Err   error
+}
+
+func (f Failure) String() string {
+	return fmt.Sprintf("%s/%s [%s]: %v", f.GPU, f.App, f.Stage, f.Err)
+}
+
+// ctx returns the experiment-wide context.
+func (p *Params) ctx() context.Context {
+	if p.Ctx != nil {
+		return p.Ctx
+	}
+	return context.Background()
+}
+
+// runSim runs one simulation under the experiment context and per-job
+// timeout.
+func (p *Params) runSim(app *trace.App, gpu config.GPU, opts sim.Options) (*sim.Result, error) {
+	ctx := p.ctx()
+	if p.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.JobTimeout)
+		defer cancel()
+	}
+	return sim.RunCtx(ctx, app, gpu, opts)
 }
 
 func (p *Params) fill() {
@@ -130,14 +173,22 @@ type Fig4Result struct {
 	Rows []Fig4Row
 	// MeanErr is the arithmetic-mean prediction error per simulator.
 	MeanErr [3]float64
-	// Geometric-mean single-thread speedups over Detailed.
+	// Geometric-mean single-thread speedups over Detailed. Non-positive
+	// speedups (failed or zero-wall jobs) are skipped; SpeedupsSkipped
+	// counts them.
 	GeoSpeedupBasic  float64
 	GeoSpeedupMemory float64
+	SpeedupsSkipped  int
+	// Failed lists the applications excluded from the table because the
+	// hardware model or one of the simulators failed on them.
+	Failed []Failure
 }
 
 // Figure4 runs every application through the golden hardware model and the
 // three simulator configurations on the RTX 2080 Ti (or p.GPU), computing
-// cycle-prediction errors and single-thread speedups.
+// cycle-prediction errors and single-thread speedups. Applications whose
+// jobs fail are dropped from the table and recorded in Failed; the figure
+// renders from the successful subset.
 func Figure4(p Params) (*Fig4Result, error) {
 	p.fill()
 	apps, err := p.apps()
@@ -148,19 +199,30 @@ func Figure4(p Params) (*Fig4Result, error) {
 	var errSum [3]float64
 	var spBasic, spMem []float64
 	for _, app := range apps {
+		if cerr := p.ctx().Err(); cerr != nil {
+			res.Failed = append(res.Failed, Failure{GPU: p.GPU.Name, App: app.Name, Stage: "canceled", Err: cerr})
+			continue
+		}
 		hw, err := hwmodel.Run(app, p.GPU, p.HW)
 		if err != nil {
-			return nil, fmt.Errorf("hwmodel %s: %w", app.Name, err)
+			res.Failed = append(res.Failed, Failure{GPU: p.GPU.Name, App: app.Name, Stage: "hwmodel", Err: err})
+			continue
 		}
 		row := Fig4Row{App: app.Name, HWCycles: hw.Cycles}
+		ok := true
 		for _, kind := range []sim.Kind{sim.Detailed, sim.Basic, sim.Memory} {
-			r, err := sim.Run(app, p.GPU, sim.Options{Kind: kind})
+			r, err := p.runSim(app, p.GPU, sim.Options{Kind: kind})
 			if err != nil {
-				return nil, fmt.Errorf("%v %s: %w", kind, app.Name, err)
+				res.Failed = append(res.Failed, Failure{GPU: p.GPU.Name, App: app.Name, Stage: kind.String(), Err: err})
+				ok = false
+				break
 			}
 			row.Cycles[kind] = r.Cycles
 			row.Err[kind] = stats.RelError(float64(r.Cycles), float64(hw.Cycles))
 			row.Wall[kind] = r.Wall
+		}
+		if !ok {
+			continue
 		}
 		row.SpeedupBasic = stats.Speedup(row.Wall[sim.Detailed].Seconds(), row.Wall[sim.Basic].Seconds())
 		row.SpeedupMemory = stats.Speedup(row.Wall[sim.Detailed].Seconds(), row.Wall[sim.Memory].Seconds())
@@ -172,14 +234,18 @@ func Figure4(p Params) (*Fig4Result, error) {
 		res.Rows = append(res.Rows, row)
 	}
 	for k := 0; k < 3; k++ {
-		res.MeanErr[k] = errSum[k] / float64(len(res.Rows))
+		if len(res.Rows) > 0 {
+			res.MeanErr[k] = errSum[k] / float64(len(res.Rows))
+		}
 	}
-	res.GeoSpeedupBasic = stats.Geomean(spBasic)
-	res.GeoSpeedupMemory = stats.Geomean(spMem)
+	var skB, skM int
+	res.GeoSpeedupBasic, skB = stats.GeomeanSkipNonPositive(spBasic)
+	res.GeoSpeedupMemory, skM = stats.GeomeanSkipNonPositive(spMem)
+	res.SpeedupsSkipped = skB + skM
 	return res, nil
 }
 
-// Print writes the Figure 4 table.
+// Print writes the Figure 4 table (and any failures beneath it).
 func (r *Fig4Result) Print(w io.Writer) {
 	fmt.Fprintln(w, "Figure 4: prediction error and speedup vs the detailed baseline (RTX 2080 Ti)")
 	fmt.Fprintf(w, "%-10s %12s | %8s %8s %8s | %9s %9s\n",
@@ -194,6 +260,18 @@ func (r *Fig4Result) Print(w io.Writer) {
 		"MEAN/GEO", "",
 		stats.Pct(r.MeanErr[sim.Detailed]), stats.Pct(r.MeanErr[sim.Basic]), stats.Pct(r.MeanErr[sim.Memory]),
 		r.GeoSpeedupBasic, r.GeoSpeedupMemory)
+	printFailures(w, r.Failed)
+}
+
+// printFailures appends a failure report beneath a figure.
+func printFailures(w io.Writer, failed []Failure) {
+	if len(failed) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "FAILED %d job(s); figure rendered from the successful subset:\n", len(failed))
+	for _, f := range failed {
+		fmt.Fprintf(w, "  %s\n", f)
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -216,16 +294,24 @@ type Fig5Result struct {
 	TotalMemory float64
 	// Threads actually used.
 	Threads int
+	// Failed lists jobs that errored during any measurement phase. Wall
+	// times (and hence speedups) cover the successful subset.
+	Failed []Failure
 }
 
 // Figure5 reproduces the contribution analysis: hybrid-modeling speedup at
 // one thread, then the additional factor from running applications in
-// parallel.
+// parallel. Failed jobs are recorded in Failed and excluded from the
+// measurements rather than aborting the figure.
 func Figure5(p Params) (*Fig5Result, error) {
 	p.fill()
 	apps, err := p.apps()
 	if err != nil {
 		return nil, err
+	}
+	res := &Fig5Result{Threads: p.Threads}
+	if res.Threads <= 0 {
+		res.Threads = defaultThreads()
 	}
 	mkJobs := func(kind sim.Kind) []runner.Job {
 		jobs := make([]runner.Job, len(apps))
@@ -234,12 +320,22 @@ func Figure5(p Params) (*Fig5Result, error) {
 		}
 		return jobs
 	}
+	// suiteWall measures the wall time of one sweep, summing only the
+	// successful jobs' contribution (the sweep itself runs to completion;
+	// failures are recorded, not fatal).
 	suiteWall := func(kind sim.Kind, threads int) (time.Duration, error) {
 		start := time.Now()
-		for _, o := range runner.RunAll(mkJobs(kind), threads) {
+		outs := runner.Run(mkJobs(kind), threads, runner.Options{Ctx: p.Ctx, JobTimeout: p.JobTimeout})
+		for i, o := range outs {
 			if o.Err != nil {
-				return 0, o.Err
+				res.Failed = append(res.Failed, Failure{
+					GPU: p.GPU.Name, App: apps[i].Name,
+					Stage: fmt.Sprintf("%v@%dthr", kind, threads), Err: o.Err,
+				})
 			}
+		}
+		if cerr := p.ctx().Err(); cerr != nil {
+			return 0, fmt.Errorf("figure 5 canceled: %w", cerr)
 		}
 		return time.Since(start), nil
 	}
@@ -255,10 +351,6 @@ func Figure5(p Params) (*Fig5Result, error) {
 	wallMem1, err := suiteWall(sim.Memory, 1)
 	if err != nil {
 		return nil, err
-	}
-	res := &Fig5Result{Threads: p.Threads}
-	if res.Threads <= 0 {
-		res.Threads = defaultThreads()
 	}
 	wallBasicN, err := suiteWall(sim.Basic, res.Threads)
 	if err != nil {
@@ -289,6 +381,7 @@ func (r *Fig5Result) Print(w io.Writer) {
 	fmt.Fprintf(w, "  parallel factor (%2d threads) Memory    %6.1fx\n", r.Threads, r.ParallelMemory)
 	fmt.Fprintf(w, "  TOTAL Swift-Sim-Basic                  %6.1fx\n", r.TotalBasic)
 	fmt.Fprintf(w, "  TOTAL Swift-Sim-Memory                 %6.1fx\n", r.TotalMemory)
+	printFailures(w, r.Failed)
 }
 
 // ---------------------------------------------------------------------------
@@ -305,12 +398,16 @@ type Fig6Row struct {
 // Fig6Result aggregates Figure 6: Detailed and Basic errors across GPUs.
 type Fig6Result struct {
 	Rows []Fig6Row
-	// MeanErr maps GPU name to [Detailed, Basic] mean errors.
+	// MeanErr maps GPU name to [Detailed, Basic] mean errors over the
+	// successful rows.
 	MeanErr map[string][2]float64
+	// Failed lists (GPU, application) pairs excluded from the figure.
+	Failed []Failure
 }
 
 // Figure6 validates Detailed and Swift-Sim-Basic against the golden model
-// of each of the three GPUs.
+// of each of the three GPUs. Failed (GPU, app) pairs are dropped from the
+// figure and recorded in Failed.
 func Figure6(p Params) (*Fig6Result, error) {
 	p.fill()
 	apps, err := p.apps()
@@ -328,18 +425,26 @@ func Figure6(p Params) (*Fig6Result, error) {
 			gpu.MemPartitions = p.GPU.MemPartitions
 		}
 		var sumDet, sumBasic float64
+		okRows := 0
 		for _, app := range apps {
+			if cerr := p.ctx().Err(); cerr != nil {
+				res.Failed = append(res.Failed, Failure{GPU: gpu.Name, App: app.Name, Stage: "canceled", Err: cerr})
+				continue
+			}
 			hw, err := hwmodel.Run(app, gpu, p.HW)
 			if err != nil {
-				return nil, err
+				res.Failed = append(res.Failed, Failure{GPU: gpu.Name, App: app.Name, Stage: "hwmodel", Err: err})
+				continue
 			}
-			det, err := sim.Run(app, gpu, sim.Options{Kind: sim.Detailed})
+			det, err := p.runSim(app, gpu, sim.Options{Kind: sim.Detailed})
 			if err != nil {
-				return nil, err
+				res.Failed = append(res.Failed, Failure{GPU: gpu.Name, App: app.Name, Stage: sim.Detailed.String(), Err: err})
+				continue
 			}
-			bas, err := sim.Run(app, gpu, sim.Options{Kind: sim.Basic})
+			bas, err := p.runSim(app, gpu, sim.Options{Kind: sim.Basic})
 			if err != nil {
-				return nil, err
+				res.Failed = append(res.Failed, Failure{GPU: gpu.Name, App: app.Name, Stage: sim.Basic.String(), Err: err})
+				continue
 			}
 			row := Fig6Row{
 				GPU:         gpu.Name,
@@ -349,11 +454,14 @@ func Figure6(p Params) (*Fig6Result, error) {
 			}
 			sumDet += row.ErrDetailed
 			sumBasic += row.ErrBasic
+			okRows++
 			res.Rows = append(res.Rows, row)
 		}
-		res.MeanErr[gpu.Name] = [2]float64{
-			sumDet / float64(len(apps)),
-			sumBasic / float64(len(apps)),
+		if okRows > 0 {
+			res.MeanErr[gpu.Name] = [2]float64{
+				sumDet / float64(okRows),
+				sumBasic / float64(okRows),
+			}
 		}
 	}
 	return res, nil
@@ -373,6 +481,7 @@ func (r *Fig6Result) Print(w io.Writer) {
 				stats.Pct(m[0]), stats.Pct(m[1]))
 		}
 	}
+	printFailures(w, r.Failed)
 }
 
 func defaultThreads() int { return runtime.NumCPU() }

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"swiftsim/internal/config"
 	"swiftsim/internal/sim"
@@ -143,5 +146,99 @@ func TestKindIndexing(t *testing.T) {
 	// 0,1,2.
 	if sim.Detailed != 0 || sim.Basic != 1 || sim.Memory != 2 {
 		t.Fatal("sim.Kind constants changed; Fig4Row indexing breaks")
+	}
+}
+
+// TestFigure4PartialResults: an unmeetable per-job deadline fails every
+// simulation; the figure still renders (from an empty subset) and every
+// failure is recorded with its stage.
+func TestFigure4PartialResults(t *testing.T) {
+	p := smallParams()
+	p.JobTimeout = time.Nanosecond
+	res, err := Figure4(p)
+	if err != nil {
+		t.Fatalf("Figure4 must not abort on per-job failures: %v", err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("rows = %d, want 0 (every job timed out)", len(res.Rows))
+	}
+	if len(res.Failed) != len(p.Apps) {
+		t.Fatalf("failures = %d, want %d", len(res.Failed), len(p.Apps))
+	}
+	for _, f := range res.Failed {
+		if !errors.Is(f.Err, context.DeadlineExceeded) {
+			t.Errorf("%s: cause = %v, want DeadlineExceeded", f.App, f.Err)
+		}
+		if f.Stage == "" || f.GPU == "" {
+			t.Errorf("failure missing identity: %+v", f)
+		}
+	}
+	var sb strings.Builder
+	res.Print(&sb)
+	if !strings.Contains(sb.String(), "FAILED 3 job(s)") {
+		t.Errorf("Print missing failure report:\n%s", sb.String())
+	}
+}
+
+// TestFigure4Canceled: a pre-canceled experiment context records every
+// application as canceled instead of simulating.
+func TestFigure4Canceled(t *testing.T) {
+	p := smallParams()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p.Ctx = ctx
+	res, err := Figure4(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 || len(res.Failed) != len(p.Apps) {
+		t.Fatalf("rows=%d failed=%d, want 0/%d", len(res.Rows), len(res.Failed), len(p.Apps))
+	}
+	for _, f := range res.Failed {
+		if f.Stage != "canceled" {
+			t.Errorf("%s: stage = %q, want canceled", f.App, f.Stage)
+		}
+	}
+}
+
+// TestFigure5Canceled: figure 5 measures wall time, so cancellation aborts
+// it with an error instead of producing meaningless timings.
+func TestFigure5Canceled(t *testing.T) {
+	p := smallParams()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p.Ctx = ctx
+	if _, err := Figure5(p); err == nil {
+		t.Fatal("Figure5 accepted a canceled context")
+	}
+}
+
+// TestFigure6PartialResults: per-job deadline failures drop rows but keep
+// the figure alive with per-(GPU, app) failure records.
+func TestFigure6PartialResults(t *testing.T) {
+	p := smallParams()
+	p.Apps = []string{"BFS"}
+	p.JobTimeout = time.Nanosecond
+	res, err := Figure6(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("rows = %d, want 0", len(res.Rows))
+	}
+	if len(res.MeanErr) != 0 {
+		t.Errorf("MeanErr has %d entries for an all-failed figure", len(res.MeanErr))
+	}
+	if len(res.Failed) != 3 { // one app × three GPUs
+		t.Fatalf("failures = %d, want 3", len(res.Failed))
+	}
+	seen := map[string]bool{}
+	for _, f := range res.Failed {
+		seen[f.GPU] = true
+	}
+	for _, g := range []string{"RTX2080Ti", "RTX3060", "RTX3090"} {
+		if !seen[g] {
+			t.Errorf("no failure recorded for %s", g)
+		}
 	}
 }

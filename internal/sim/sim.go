@@ -18,7 +18,9 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"time"
 
 	"swiftsim/internal/analytic"
@@ -146,11 +148,30 @@ type gpuAssembly struct {
 
 // Run simulates app on gpu under opts and returns the result.
 func Run(app *trace.App, gpu config.GPU, opts Options) (*Result, error) {
+	return RunCtx(context.Background(), app, gpu, opts)
+}
+
+// RunCtx is Run with cooperative cancellation: the context is threaded into
+// the simulation engine, which polls it every few thousand scheduler
+// iterations. Canceling the context (or passing one with a deadline) stops
+// the run promptly with an error wrapping engine.ErrCanceled and ctx.Err().
+func RunCtx(ctx context.Context, app *trace.App, gpu config.GPU, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := gpu.Validate(); err != nil {
 		return nil, err
 	}
 	if err := app.Validate(); err != nil {
 		return nil, err
+	}
+	// Assembly-time schedulability validation: a kernel whose blocks can
+	// never become resident used to surface as an engine deadlock (or a
+	// warp-slot panic) deep inside the run; reject it up front instead.
+	for ki, k := range app.Kernels {
+		if err := smcore.ValidateKernel(gpu.SM, k); err != nil {
+			return nil, fmt.Errorf("sim: %s kernel %d: %w", app.Name, ki, err)
+		}
 	}
 	start := time.Now()
 
@@ -177,7 +198,10 @@ func Run(app *trace.App, gpu config.GPU, opts Options) (*Result, error) {
 		}
 	}
 
-	a := assemble(gpu, opts, prof)
+	a, err := assemble(gpu, opts, prof)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s: %w", app.Name, err)
+	}
 	maxCycles := opts.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = 1_000_000_000
@@ -194,10 +218,20 @@ func Run(app *trace.App, gpu config.GPU, opts Options) (*Result, error) {
 		}
 		kStart := a.eng.Cycle()
 		a.bs.LaunchKernel(k)
-		if _, err := a.eng.Run(a.bs.KernelDone, a.eng.Cycle()+maxCycles); err != nil {
+		// The per-kernel budget is relative to the current cycle; clamp
+		// the absolute limit so MaxCycles near math.MaxUint64 cannot wrap
+		// into the past and turn the budget into an instant timeout.
+		limit := kStart + maxCycles
+		if limit < kStart {
+			limit = math.MaxUint64
+		}
+		if _, err := a.eng.RunCtx(ctx, a.bs.KernelDone, limit); err != nil {
 			return nil, fmt.Errorf("sim: %s kernel %d (%s): %w", app.Name, ki, k.Name, err)
 		}
-		kc := uint64(float64(a.eng.Cycle()-kStart) * sampleScale[ki])
+		if err := a.bs.Err(); err != nil {
+			return nil, fmt.Errorf("sim: %s kernel %d (%s): %w", app.Name, ki, k.Name, err)
+		}
+		kc := extrapolate(a.eng.Cycle()-kStart, sampleScale[ki])
 		kernelCycles = append(kernelCycles, kc)
 		extrapolated += kc
 		overhead += opts.ExtraKernelOverhead
@@ -259,6 +293,14 @@ func sampleApp(app *trace.App, gpu config.GPU, frac float64) (*trace.App, []floa
 	return out, scale
 }
 
+// extrapolate scales a sampled kernel's raw cycle count by its wave-based
+// extrapolation factor, rounding half-up. Truncating toward zero here
+// systematically under-predicted sampled runs by up to one cycle per
+// kernel times the scale's fractional part.
+func extrapolate(raw uint64, scale float64) uint64 {
+	return uint64(float64(raw)*scale + 0.5)
+}
+
 // scaleLat applies the golden model's latency scale.
 func scaleLat(l int, scale float64) int {
 	if scale <= 0 {
@@ -271,8 +313,10 @@ func scaleLat(l int, scale float64) int {
 	return v
 }
 
-// assemble wires one simulator instance per opts.Kind.
-func assemble(gpu config.GPU, opts Options, prof *reuse.Profile) *gpuAssembly {
+// assemble wires one simulator instance per opts.Kind. Unsatisfiable unit
+// or warp-slot configurations are reported as errors here, at assembly
+// time, rather than as panics mid-simulation.
+func assemble(gpu config.GPU, opts Options, prof *reuse.Profile) (*gpuAssembly, error) {
 	eng := engine.New()
 	g := metrics.New()
 	a := &gpuAssembly{eng: eng, g: g}
@@ -446,7 +490,11 @@ func assemble(gpu config.GPU, opts Options, prof *reuse.Profile) *gpuAssembly {
 	var bs *smcore.BlockScheduler
 	onBlockDone := func(sm *smcore.SM) { bs.BlockDone(sm) }
 	for i := range sms {
-		sms[i] = smcore.NewSM(i, smCfg, eng, units, g, onBlockDone)
+		sm, err := smcore.NewSM(i, smCfg, eng, units, g, onBlockDone)
+		if err != nil {
+			return nil, err
+		}
+		sms[i] = sm
 	}
 	bs = smcore.NewBlockScheduler(sms, g)
 	a.bs = bs
@@ -454,7 +502,7 @@ func assemble(gpu config.GPU, opts Options, prof *reuse.Profile) *gpuAssembly {
 	for _, sm := range sms {
 		eng.Register(sm)
 	}
-	return a
+	return a, nil
 }
 
 // analyticalALUs returns the ALU provider of the hybrid configurations:

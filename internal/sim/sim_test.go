@@ -1,7 +1,12 @@
 package sim
 
 import (
+	"context"
+	"errors"
+	"math"
+	"strings"
 	"testing"
+	"time"
 
 	"swiftsim/internal/config"
 	"swiftsim/internal/engine"
@@ -367,6 +372,95 @@ func TestSamplingComposesWithMemoryKind(t *testing.T) {
 	}
 	if res.Cycles == 0 || !res.Sampled {
 		t.Fatalf("sampled Memory run: %+v", res.Cycles)
+	}
+}
+
+func TestExtrapolateRoundsHalfUp(t *testing.T) {
+	// Regression for the sampled-cycle truncation bug: uint64(x*scale)
+	// truncates toward zero and under-predicts, e.g. 3 raw cycles at a
+	// wave scale of 2/3 gives the float product 1.9999999999999998, which
+	// truncation pinned at 1 instead of 2.
+	cases := []struct {
+		raw   uint64
+		scale float64
+		want  uint64
+	}{
+		{3, 2.0 / 3.0, 2},         // 1.999...8 -> truncation bug gave 1
+		{1000, 1, 1000},           // identity untouched
+		{7, 1.5, 11},              // 10.5 rounds up
+		{100, 2.004999, 200},      // 200.4999 rounds down
+		{1_000_003, 3, 3_000_009}, // exact products stay exact
+	}
+	for _, c := range cases {
+		if got := extrapolate(c.raw, c.scale); got != c.want {
+			t.Errorf("extrapolate(%d, %v) = %d, want %d", c.raw, c.scale, got, c.want)
+		}
+	}
+}
+
+func TestMaxCyclesMaxUint64DoesNotWrap(t *testing.T) {
+	// Regression: eng.Cycle()+MaxCycles wrapped for kernels after the
+	// first, turning an "unlimited" budget into an instant timeout.
+	gpu := smallGPU()
+	app := mustApp(t, "GRU", 0.1) // multi-kernel: cycle > 0 at kernel 2
+	if len(app.Kernels) < 2 {
+		t.Fatal("need a multi-kernel app for the wrap case")
+	}
+	res, err := Run(app, gpu, Options{Kind: Basic, MaxCycles: math.MaxUint64})
+	if err != nil {
+		t.Fatalf("MaxCycles=MaxUint64 run failed: %v", err)
+	}
+	if res.Cycles == 0 {
+		t.Error("zero cycles")
+	}
+}
+
+func TestUnschedulableKernelRejectedAtAssembly(t *testing.T) {
+	// A kernel whose single-block register footprint exceeds the SM's
+	// register file can never be scheduled. This used to surface as an
+	// engine deadlock (or warp-slot panic) deep inside the run; it must
+	// now be a clear validation error before simulation starts.
+	gpu := smallGPU()
+	app := mustApp(t, "BFS", 0.1)
+	app.Kernels[0].RegsPerThread = gpu.SM.Registers // one thread busts the file
+	_, err := Run(app, gpu, Options{Kind: Basic})
+	if err == nil {
+		t.Fatal("unschedulable kernel accepted")
+	}
+	if !strings.Contains(err.Error(), "can never be scheduled") {
+		t.Errorf("error does not identify unschedulability: %v", err)
+	}
+	if !strings.Contains(err.Error(), app.Kernels[0].Name) {
+		t.Errorf("error does not identify the kernel: %v", err)
+	}
+}
+
+func TestRunCtxPreCanceled(t *testing.T) {
+	gpu := smallGPU()
+	app := mustApp(t, "BFS", 0.1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunCtx(ctx, app, gpu, Options{Kind: Basic})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in chain", err)
+	}
+	if !errors.Is(err, engine.ErrCanceled) {
+		t.Errorf("err = %v, want engine.ErrCanceled in chain", err)
+	}
+}
+
+func TestRunCtxDeadline(t *testing.T) {
+	gpu := smallGPU()
+	app := mustApp(t, "SM", 0.3)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := RunCtx(ctx, app, gpu, Options{Kind: Detailed})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded in chain", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v; engine context polling is broken", elapsed)
 	}
 }
 

@@ -16,6 +16,7 @@ type BlockScheduler struct {
 	next   int // next block to assign
 	done   int // completed blocks
 	cursor int // round-robin start SM
+	err    error
 
 	kernelsRun  *metrics.Counter
 	blocksTotal *metrics.Counter
@@ -40,10 +41,17 @@ func (bs *BlockScheduler) LaunchKernel(k *trace.Kernel) {
 	bs.kernelsRun.Inc()
 }
 
-// KernelDone reports whether every block of the current kernel completed.
+// KernelDone reports whether every block of the current kernel completed
+// (or the kernel was aborted by an assignment error; check Err).
 func (bs *BlockScheduler) KernelDone() bool {
 	return bs.kernel == nil || bs.done == len(bs.kernel.Blocks)
 }
+
+// Err returns the first block-assignment error, if any. A non-nil error
+// means the current kernel was aborted: KernelDone reports true so the
+// engine run unwinds, and the caller must treat the kernel as failed. The
+// error is sticky across LaunchKernel calls.
+func (bs *BlockScheduler) Err() error { return bs.err }
 
 // BlockDone records one finished block; SMs call it via their onBlockDone
 // hook.
@@ -65,9 +73,11 @@ func (bs *BlockScheduler) Kind() engine.ModelKind { return engine.CycleAccurate 
 func (bs *BlockScheduler) Busy() bool { return false }
 
 // Tick implements engine.Ticker: assign as many pending blocks as fit,
-// round-robin over SMs.
+// round-robin over SMs. An assignment error aborts the kernel (recorded in
+// Err) instead of panicking, so the enclosing simulation can fail its own
+// job while sibling jobs in a parallel sweep continue.
 func (bs *BlockScheduler) Tick(uint64) {
-	if bs.kernel == nil {
+	if bs.kernel == nil || bs.err != nil {
 		return
 	}
 	for bs.next < len(bs.kernel.Blocks) {
@@ -75,7 +85,11 @@ func (bs *BlockScheduler) Tick(uint64) {
 		for i := 0; i < len(bs.sms) && bs.next < len(bs.kernel.Blocks); i++ {
 			sm := bs.sms[(bs.cursor+i)%len(bs.sms)]
 			if sm.CanAccept(bs.kernel) {
-				sm.AssignBlock(bs.kernel, bs.next)
+				if err := sm.AssignBlock(bs.kernel, bs.next); err != nil {
+					bs.err = err
+					bs.kernel = nil // abort: KernelDone turns true
+					return
+				}
 				bs.next++
 				bs.cursor = (bs.cursor + i + 1) % len(bs.sms)
 				assigned = true

@@ -1,8 +1,6 @@
 package smcore
 
 import (
-	"fmt"
-
 	"swiftsim/internal/config"
 	"swiftsim/internal/engine"
 	"swiftsim/internal/mem"
@@ -59,7 +57,10 @@ func NewCycleAccurateUnits(cfg config.SM, eng *engine.Engine, g *metrics.Gathere
 			sharedDP[key] = u
 			return u
 		default:
-			panic(fmt.Sprintf("smcore: no ALU for class %v", class))
+			// Unknown arithmetic class: report the hole by returning nil;
+			// NewSM turns a nil unit into a validation error at assembly
+			// time instead of a process-killing panic mid-sweep.
+			return nil
 		}
 	}
 	ldst := func(smID, sub int) Unit {

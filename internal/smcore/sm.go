@@ -247,15 +247,18 @@ func (sc *subCore) anyIssuable() bool {
 	return false
 }
 
-func (sc *subCore) addWarp(w *Warp) {
+func (sc *subCore) addWarp(w *Warp) error {
 	for i, slot := range sc.warps {
 		if slot == nil {
 			sc.warps[i] = w
-			return
+			return nil
 		}
 	}
-	// Capacity is enforced by SM.CanAccept; reaching here is a bug.
-	panic(fmt.Sprintf("smcore: sub-core %d.%d warp slots exhausted", sc.sm.id, sc.index))
+	// Capacity is enforced by SM.CanAccept and validated at assembly time;
+	// reaching here means the residency accounting diverged from the slot
+	// state. Surface it as an error (via the Block Scheduler) so one bad
+	// configuration fails its own run instead of killing the process.
+	return fmt.Errorf("smcore: sub-core %d.%d warp slots exhausted", sc.sm.id, sc.index)
 }
 
 func (sc *subCore) removeWarp(w *Warp) {
@@ -299,7 +302,22 @@ type SM struct {
 // NewSM builds an SM with units supplied by us. onBlockDone is invoked
 // whenever a resident block finishes (the Block Scheduler uses it to
 // assign further blocks and detect kernel completion).
-func NewSM(id int, cfg config.SM, eng *engine.Engine, us UnitSet, g *metrics.Gatherer, onBlockDone func(sm *SM)) *SM {
+//
+// NewSM validates that the unit set and configuration are satisfiable: every
+// arithmetic class must resolve to a unit, the LD/ST provider must return a
+// unit, and every sub-core must get at least one warp slot. Violations are
+// reported as errors at assembly time rather than panics mid-simulation.
+func NewSM(id int, cfg config.SM, eng *engine.Engine, us UnitSet, g *metrics.Gatherer, onBlockDone func(sm *SM)) (*SM, error) {
+	if cfg.SubCores <= 0 {
+		return nil, fmt.Errorf("smcore: SM%d: SubCores must be positive, got %d", id, cfg.SubCores)
+	}
+	if cfg.MaxWarps/cfg.SubCores < 1 {
+		return nil, fmt.Errorf("smcore: SM%d: MaxWarps %d gives %d sub-cores no warp slots",
+			id, cfg.MaxWarps, cfg.SubCores)
+	}
+	if us.ALU == nil || us.LDST == nil {
+		return nil, fmt.Errorf("smcore: SM%d: unit set missing ALU or LDST provider", id)
+	}
 	sm := &SM{
 		id:          id,
 		cfg:         cfg,
@@ -328,10 +346,17 @@ func NewSM(id int, cfg config.SM, eng *engine.Engine, us UnitSet, g *metrics.Gat
 	for s := 0; s < cfg.SubCores; s++ {
 		sc := &subCore{sm: sm, index: s, warps: make([]*Warp, warpsPerSub)}
 		for _, class := range []trace.OpClass{trace.OpInt, trace.OpSP, trace.OpDP, trace.OpSFU} {
-			sc.units[class] = us.ALU(id, s, class)
-			addUnit(sc.units[class])
+			u := us.ALU(id, s, class)
+			if u == nil {
+				return nil, fmt.Errorf("smcore: SM%d sub-core %d: no ALU unit for class %v", id, s, class)
+			}
+			sc.units[class] = u
+			addUnit(u)
 		}
 		sc.ldst = us.LDST(id, s)
+		if sc.ldst == nil {
+			return nil, fmt.Errorf("smcore: SM%d sub-core %d: no LD/ST unit", id, s)
+		}
 		addUnit(sc.ldst)
 		if us.ICache != nil {
 			sc.icache = us.ICache(id, s)
@@ -341,7 +366,7 @@ func NewSM(id int, cfg config.SM, eng *engine.Engine, us UnitSet, g *metrics.Gat
 		}
 		sm.subcores = append(sm.subcores, sc)
 	}
-	return sm
+	return sm, nil
 }
 
 // ID returns the SM's index.
@@ -455,7 +480,9 @@ func (sm *SM) CanAccept(k *trace.Kernel) bool {
 
 // AssignBlock makes block index of k resident, distributing its warps
 // round-robin over the sub-cores. The caller must have checked CanAccept.
-func (sm *SM) AssignBlock(k *trace.Kernel, index int) {
+// An error means the SM's residency accounting disagreed with its warp-slot
+// state; the block is unwound and the SM left usable.
+func (sm *SM) AssignBlock(k *trace.Kernel, index int) error {
 	warps, regs, shmem := blockCost(sm.cfg, k)
 	rb := &residentBlock{sm: sm, index: index, liveWarps: warps, regs: regs, shmem: shmem}
 	bt := &k.Blocks[index]
@@ -471,7 +498,13 @@ func (sm *SM) AssignBlock(k *trace.Kernel, index int) {
 			w.ibuf = -1 // instructions always available
 		}
 		rb.warps = append(rb.warps, w)
-		sm.subcores[wi%sm.cfg.SubCores].addWarp(w)
+		if err := sm.subcores[wi%sm.cfg.SubCores].addWarp(w); err != nil {
+			// Unwind the partially placed block.
+			for pwi, pw := range rb.warps[:len(rb.warps)-1] {
+				sm.subcores[pwi%sm.cfg.SubCores].removeWarp(pw)
+			}
+			return fmt.Errorf("smcore: SM%d block %d of kernel %s: %w", sm.id, index, k.Name, err)
+		}
 	}
 	sm.blocks = append(sm.blocks, rb)
 	sm.usedWarps += warps
@@ -479,6 +512,7 @@ func (sm *SM) AssignBlock(k *trace.Kernel, index int) {
 	sm.usedShmem += shmem
 	sm.blocksRun.Inc()
 	sm.busyCache = true // newly resident warps have work
+	return nil
 }
 
 // blockDone releases a finished block's resources.
@@ -532,4 +566,19 @@ func BlocksPerSM(cfg config.SM, k *trace.Kernel) int {
 		n = 0
 	}
 	return n
+}
+
+// ValidateKernel checks that at least one block of k can ever become
+// resident on an SM under cfg. Unsatisfiable kernels previously surfaced
+// as engine deadlocks (or, with corrupted accounting, warp-slot panics)
+// deep inside a run; validating at assembly time turns them into a clear
+// per-job configuration error.
+func ValidateKernel(cfg config.SM, k *trace.Kernel) error {
+	if BlocksPerSM(cfg, k) >= 1 {
+		return nil
+	}
+	warps, regs, shmem := blockCost(cfg, k)
+	return fmt.Errorf(
+		"smcore: kernel %s can never be scheduled: one block needs %d warps, %d registers, %dB shared memory; an SM offers %d warps, %d registers, %dB",
+		k.Name, warps, regs, shmem, cfg.MaxWarps, cfg.Registers, cfg.SharedMemBytes)
 }

@@ -56,7 +56,11 @@ func newSMHarness(t *testing.T, cfg config.SM) *smHarness {
 	fm := &fixedMem{eng: eng, latency: 40}
 	us := NewCycleAccurateUnits(cfg, eng, g, 32, func(int) mem.Port { return fm })
 	h := &smHarness{eng: eng, mem: fm, g: g}
-	h.sm = NewSM(0, cfg, eng, us, g, func(sm *SM) { h.bs.BlockDone(sm) })
+	sm, err := NewSM(0, cfg, eng, us, g, func(sm *SM) { h.bs.BlockDone(sm) })
+	if err != nil {
+		t.Fatalf("NewSM: %v", err)
+	}
+	h.sm = sm
 	h.bs = NewBlockScheduler([]*SM{h.sm}, g)
 	eng.Register(h.bs)
 	eng.Register(h.sm)
@@ -265,7 +269,9 @@ func TestSMRegisterPressureLimitsOccupancy(t *testing.T) {
 	if !h.sm.CanAccept(k) {
 		t.Fatal("SM cannot accept even one block")
 	}
-	h.sm.AssignBlock(k, 0)
+	if err := h.sm.AssignBlock(k, 0); err != nil {
+		t.Fatal(err)
+	}
 	if h.sm.CanAccept(k) {
 		t.Error("register file oversubscribed")
 	}
@@ -276,7 +282,9 @@ func TestSMSharedMemLimitsOccupancy(t *testing.T) {
 	h := newSMHarness(t, cfg)
 	k := simpleKernel(4, 2, func(b *kbuilder) { b.intOp(1, 0, 0) })
 	k.SharedMemPerBlock = cfg.SharedMemBytes
-	h.sm.AssignBlock(k, 0)
+	if err := h.sm.AssignBlock(k, 0); err != nil {
+		t.Fatal(err)
+	}
 	if h.sm.CanAccept(k) {
 		t.Error("shared memory oversubscribed")
 	}

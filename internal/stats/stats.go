@@ -24,6 +24,27 @@ func Geomean(xs []float64) float64 {
 	return math.Exp(sum / float64(len(xs)))
 }
 
+// GeomeanSkipNonPositive returns the geometric mean of the usable values
+// of xs along with the number of values skipped. Non-positive values, NaN
+// and +Inf are skipped rather than contaminating the whole mean: a single
+// zero-cycle failed job would otherwise turn an entire report table into
+// NaN. With no usable values it returns (0, skipped).
+func GeomeanSkipNonPositive(xs []float64) (geomean float64, skipped int) {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if !(x > 0) || math.IsInf(x, 1) { // !(x>0) also catches NaN
+			skipped++
+			continue
+		}
+		sum += math.Log(x)
+		n++
+	}
+	if n == 0 {
+		return 0, skipped
+	}
+	return math.Exp(sum / float64(n)), skipped
+}
+
 // Mean returns the arithmetic mean of xs (0 for empty input).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

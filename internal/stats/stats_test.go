@@ -81,3 +81,33 @@ func TestQuickGeomeanBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestGeomeanSkipNonPositive(t *testing.T) {
+	// Clean input: identical to Geomean, nothing skipped.
+	g, skipped := GeomeanSkipNonPositive([]float64{2, 8})
+	if g != 4 || skipped != 0 {
+		t.Errorf("clean input: got %v (skipped %d), want 4 (skipped 0)", g, skipped)
+	}
+
+	// Contaminated input: zeros, negatives, NaN and +Inf are dropped and
+	// counted; the mean comes from the remaining values only.
+	xs := []float64{2, 0, 8, -3, math.NaN(), math.Inf(1)}
+	g, skipped = GeomeanSkipNonPositive(xs)
+	if math.Abs(g-4) > 1e-12 {
+		t.Errorf("contaminated input: geomean = %v, want 4", g)
+	}
+	if skipped != 4 {
+		t.Errorf("contaminated input: skipped = %d, want 4", skipped)
+	}
+
+	// All values unusable: zero mean, everything skipped.
+	g, skipped = GeomeanSkipNonPositive([]float64{0, math.NaN()})
+	if g != 0 || skipped != 2 {
+		t.Errorf("all-skipped input: got %v (skipped %d), want 0 (skipped 2)", g, skipped)
+	}
+
+	// Empty input.
+	if g, skipped = GeomeanSkipNonPositive(nil); g != 0 || skipped != 0 {
+		t.Errorf("nil input: got %v (skipped %d)", g, skipped)
+	}
+}

@@ -22,6 +22,7 @@
 package swiftsim
 
 import (
+	"context"
 	"io"
 
 	"swiftsim/internal/config"
@@ -182,7 +183,14 @@ type Result = sim.Result
 
 // Simulate runs app on gpu under cfg.
 func Simulate(app *App, gpu GPU, cfg Config) (*Result, error) {
-	return sim.Run(app, gpu, sim.Options{
+	return SimulateCtx(context.Background(), app, gpu, cfg)
+}
+
+// SimulateCtx is Simulate with cooperative cancellation: canceling ctx (or
+// passing one with a deadline) stops the simulation promptly with an error
+// wrapping ctx.Err().
+func SimulateCtx(ctx context.Context, app *App, gpu GPU, cfg Config) (*Result, error) {
+	return sim.RunCtx(ctx, app, gpu, sim.Options{
 		Kind:         cfg.Simulator,
 		HitRates:     cfg.HitRates,
 		MaxCycles:    cfg.MaxCycles,
@@ -204,15 +212,43 @@ type Job struct {
 	Cfg Config
 }
 
-// Outcome pairs a job's result with its error.
+// Outcome pairs a job's result with its error. A failed job's Err is a
+// *JobError identifying the job; use errors.As/errors.Is to inspect it.
 type Outcome struct {
 	Result *Result
 	Err    error
 }
 
+// RunOptions tunes SimulateAllOpts: sweep-wide cancellation (Ctx), per-job
+// deadlines (JobTimeout), fail-fast behavior and a progress callback. The
+// zero value runs every job to completion with no deadlines.
+type RunOptions = runner.Options
+
+// Progress describes one finished job, as delivered to
+// RunOptions.OnProgress.
+type Progress = runner.Progress
+
+// JobError is the structured error attached to every failed Outcome: it
+// carries the job's index, application and GPU names, and — when the
+// simulation panicked — the recovered panic value and stack. One bad trace
+// fails only its own job, never the whole sweep.
+type JobError = runner.JobError
+
+// ErrJobSkipped marks jobs never started because the sweep was canceled
+// (context cancellation or FailFast); test with errors.Is.
+var ErrJobSkipped = runner.ErrJobSkipped
+
 // SimulateAll runs jobs on a worker pool of the given size (threads <= 0
 // uses all CPUs), in job order — the parallel simulation mode of §IV-B2.
 func SimulateAll(jobs []Job, threads int) []Outcome {
+	return SimulateAllOpts(jobs, threads, RunOptions{})
+}
+
+// SimulateAllOpts is SimulateAll with fault-tolerance controls: every job
+// runs under panic isolation, opts.Ctx cancels the sweep, opts.JobTimeout
+// bounds each job, opts.FailFast stops after the first failure, and
+// opts.OnProgress observes completions.
+func SimulateAllOpts(jobs []Job, threads int, opts RunOptions) []Outcome {
 	rjobs := make([]runner.Job, len(jobs))
 	for i, j := range jobs {
 		rjobs[i] = runner.Job{App: j.App, GPU: j.GPU, Opts: sim.Options{
@@ -223,7 +259,7 @@ func SimulateAll(jobs []Job, threads int) []Outcome {
 			SampleBlocks: j.Cfg.SampleBlocks,
 		}}
 	}
-	outs := runner.RunAll(rjobs, threads)
+	outs := runner.Run(rjobs, threads, opts)
 	res := make([]Outcome, len(outs))
 	for i, o := range outs {
 		res[i] = Outcome{Result: o.Result, Err: o.Err}
