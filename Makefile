@@ -1,0 +1,39 @@
+# Swift-Sim development targets. `make verify` is the gate every change
+# must pass; see .claude/skills/verify/SKILL.md and README.md for the
+# golden-fixture workflow.
+
+GO ?= go
+
+.PHONY: verify tier1 golden fuzz-smoke bench update-golden
+
+# verify = tier-1 + the golden regression corpus + a fuzz smoke of both
+# parsers. This is the full pre-commit gate.
+verify: tier1 golden fuzz-smoke
+
+# tier1 is the repo's baseline check (ROADMAP.md): everything builds,
+# vets, and tests green, with the race detector on the concurrent
+# packages.
+tier1:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/runner/... ./internal/engine/...
+
+# golden re-checks the committed 60-case fixture corpus only (fast drift
+# check without the rest of the suite).
+golden:
+	$(GO) test -run Golden ./internal/regress/...
+
+# fuzz-smoke runs each fuzz target for 10s — long enough to catch easy
+# parser regressions, short enough for every commit.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParseTrace -fuzztime=10s ./internal/trace/
+	$(GO) test -fuzz=FuzzLoadConfig -fuzztime=10s ./internal/config/
+
+# update-golden regenerates the golden fixtures after an intended metrics
+# change. Review the fixture diff like any other code change.
+update-golden:
+	$(GO) test -run Golden ./internal/regress/ -update
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...

@@ -14,6 +14,7 @@ import (
 
 	"swiftsim/internal/config"
 	"swiftsim/internal/experiments"
+	"swiftsim/internal/regress"
 	"swiftsim/internal/sim"
 	"swiftsim/internal/workload"
 )
@@ -94,6 +95,32 @@ func BenchmarkFigure6(b *testing.B) {
 			res.Print(os.Stderr)
 		}
 	}
+}
+
+// BenchmarkGoldenCorpus measures one full pass over the committed golden
+// regression corpus (20 apps × 3 GPU presets under Swift-Sim-Memory) —
+// the cost of the drift check gating every change; see
+// internal/regress and the `make verify` target.
+func BenchmarkGoldenCorpus(b *testing.B) {
+	corpus := regress.DefaultCorpus()
+	if testing.Short() {
+		corpus.Apps = corpus.Apps[:4]
+		corpus.GPUs = corpus.GPUs[:1]
+	}
+	cases := corpus.Cases()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		insts = 0
+		for _, cs := range cases {
+			res, err := cs.Run()
+			if err != nil {
+				b.Fatalf("%s on %s: %v", cs.App, cs.GPU.Name, err)
+			}
+			insts += res.Instructions
+		}
+	}
+	b.ReportMetric(float64(len(cases))*float64(b.N)/b.Elapsed().Seconds(), "cases/s")
+	b.ReportMetric(float64(insts), "warp-insts")
 }
 
 // benchGPU returns the GPU used by the ablation benches.

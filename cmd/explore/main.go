@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -24,21 +25,33 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "explore:", err)
-		os.Exit(1)
-	}
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() error {
-	key := flag.String("key", "", "configuration key to sweep (e.g. sm.scheduler, l1.sets)")
-	values := flag.String("values", "", "comma-separated values for -key")
-	apps := flag.String("apps", "BFS,SM,GEMM", "comma-separated workloads")
-	scale := flag.Float64("scale", 0.5, "workload problem scale")
-	gpuName := flag.String("gpu", "RTX2080Ti", "base GPU preset")
-	simName := flag.String("sim", "memory", "simulator: detailed|basic|memory|l2")
-	sample := flag.Float64("sample", 0, "block-sampling fraction in (0,1)")
-	flag.Parse()
+// realMain runs the command and returns the process exit code. Split from
+// main so tests can drive the full command, including flag parsing and
+// exit codes.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	if err := run(args, stdout, stderr); err != nil {
+		fmt.Fprintln(stderr, "explore:", err)
+		return 1
+	}
+	return 0
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	key := fs.String("key", "", "configuration key to sweep (e.g. sm.scheduler, l1.sets)")
+	values := fs.String("values", "", "comma-separated values for -key")
+	apps := fs.String("apps", "BFS,SM,GEMM", "comma-separated workloads")
+	scale := fs.Float64("scale", 0.5, "workload problem scale")
+	gpuName := fs.String("gpu", "RTX2080Ti", "base GPU preset")
+	simName := fs.String("sim", "memory", "simulator: detailed|basic|memory|l2")
+	sample := fs.Float64("sample", 0, "block-sampling fraction in (0,1)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *key == "" || *values == "" {
 		return fmt.Errorf("-key and -values are required")
@@ -72,13 +85,13 @@ func run() error {
 		gpus[i] = g
 	}
 
-	fmt.Printf("design-space exploration: %s over %v (%s, scale %g)\n\n",
+	fmt.Fprintf(stdout, "design-space exploration: %s over %v (%s, scale %g)\n\n",
 		*key, points, simulator, *scale)
-	fmt.Printf("%-12s", "App")
+	fmt.Fprintf(stdout, "%-12s", "App")
 	for _, v := range points {
-		fmt.Printf(" %12s", strings.TrimSpace(v))
+		fmt.Fprintf(stdout, " %12s", strings.TrimSpace(v))
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 
 	for _, name := range appNames {
 		app, err := swiftsim.GenerateWorkload(strings.TrimSpace(name), *scale)
@@ -92,14 +105,14 @@ func run() error {
 				Simulator: simulator, SampleBlocks: *sample,
 			}}
 		}
-		fmt.Printf("%-12s", name)
+		fmt.Fprintf(stdout, "%-12s", name)
 		for _, out := range swiftsim.SimulateAll(jobs, 0) {
 			if out.Err != nil {
 				return out.Err
 			}
-			fmt.Printf(" %12d", out.Result.Cycles)
+			fmt.Fprintf(stdout, " %12d", out.Result.Cycles)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	return nil
 }

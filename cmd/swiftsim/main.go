@@ -17,6 +17,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -27,34 +28,46 @@ import (
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx); err != nil {
-		fmt.Fprintln(os.Stderr, "swiftsim:", err)
-		os.Exit(1)
-	}
+	os.Exit(realMain(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(ctx context.Context) error {
-	appName := flag.String("app", "", "bundled workload name (see -list)")
-	scale := flag.Float64("scale", 1.0, "workload problem scale")
-	tracePath := flag.String("trace", "", ".sgt trace file to simulate instead of -app")
-	gpuName := flag.String("gpu", "RTX2080Ti", "GPU preset: RTX2080Ti|RTX3060|RTX3090")
-	cfgPath := flag.String("config", "", "hardware configuration file (overrides -gpu)")
-	simName := flag.String("sim", "detailed", "simulator: detailed|basic|memory|l2")
-	hitSrc := flag.String("hitrates", "functional", "memory-model hit-rate source: functional|reuse")
-	sample := flag.Float64("sample", 0, "block-sampling fraction in (0,1); 0 = full simulation")
-	timeout := flag.Duration("timeout", 0, "wall-clock deadline for the simulation (0 = none)")
-	showMetrics := flag.Bool("metrics", false, "print the full Metrics Gatherer report")
-	list := flag.Bool("list", false, "list bundled workloads and exit")
-	flag.Parse()
+// realMain runs the command and returns the process exit code. Split from
+// main so tests can drive the full command, including flag parsing and
+// exit codes.
+func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	if err := run(ctx, args, stdout, stderr); err != nil {
+		fmt.Fprintln(stderr, "swiftsim:", err)
+		return 1
+	}
+	return 0
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("swiftsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	appName := fs.String("app", "", "bundled workload name (see -list)")
+	scale := fs.Float64("scale", 1.0, "workload problem scale")
+	tracePath := fs.String("trace", "", ".sgt trace file to simulate instead of -app")
+	gpuName := fs.String("gpu", "RTX2080Ti", "GPU preset: RTX2080Ti|RTX3060|RTX3090")
+	cfgPath := fs.String("config", "", "hardware configuration file (overrides -gpu)")
+	simName := fs.String("sim", "detailed", "simulator: detailed|basic|memory|l2")
+	hitSrc := fs.String("hitrates", "functional", "memory-model hit-rate source: functional|reuse")
+	sample := fs.Float64("sample", 0, "block-sampling fraction in (0,1); 0 = full simulation")
+	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the simulation (0 = none)")
+	showMetrics := fs.Bool("metrics", false, "print the full Metrics Gatherer report")
+	list := fs.Bool("list", false, "list bundled workloads and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
-		fmt.Printf("%-12s %-10s %-4s %s\n", "NAME", "SUITE", "MEM", "DESCRIPTION")
+		fmt.Fprintf(stdout, "%-12s %-10s %-4s %s\n", "NAME", "SUITE", "MEM", "DESCRIPTION")
 		for _, wi := range swiftsim.WorkloadCatalog() {
 			mem := ""
 			if wi.MemoryBound {
 				mem = "yes"
 			}
-			fmt.Printf("%-12s %-10s %-4s %s\n", wi.Name, wi.Suite, mem, wi.Description)
+			fmt.Fprintf(stdout, "%-12s %-10s %-4s %s\n", wi.Name, wi.Suite, mem, wi.Description)
 		}
 		return nil
 	}
@@ -118,29 +131,29 @@ func run(ctx context.Context) error {
 		return err
 	}
 
-	fmt.Printf("app          %s\n", res.App)
-	fmt.Printf("gpu          %s\n", res.GPUName)
-	fmt.Printf("simulator    %s\n", res.Kind)
-	fmt.Printf("cycles       %d\n", res.Cycles)
-	fmt.Printf("instructions %d\n", res.Instructions)
-	fmt.Printf("wall time    %s\n", res.Wall)
-	fmt.Printf("ticked       %d cycles, fast-forwarded %d\n", res.TickedCycles, res.SkippedCycles)
+	fmt.Fprintf(stdout, "app          %s\n", res.App)
+	fmt.Fprintf(stdout, "gpu          %s\n", res.GPUName)
+	fmt.Fprintf(stdout, "simulator    %s\n", res.Kind)
+	fmt.Fprintf(stdout, "cycles       %d\n", res.Cycles)
+	fmt.Fprintf(stdout, "instructions %d\n", res.Instructions)
+	fmt.Fprintf(stdout, "wall time    %s\n", res.Wall)
+	fmt.Fprintf(stdout, "ticked       %d cycles, fast-forwarded %d\n", res.TickedCycles, res.SkippedCycles)
 	if res.Sampled {
-		fmt.Printf("sampling     block-sampled run; cycles are wave-extrapolated\n")
+		fmt.Fprintf(stdout, "sampling     block-sampled run; cycles are wave-extrapolated\n")
 	}
 	if len(res.KernelCycles) > 1 {
-		fmt.Printf("kernels      ")
+		fmt.Fprintf(stdout, "kernels      ")
 		for i, kc := range res.KernelCycles {
 			if i > 0 {
-				fmt.Print(" ")
+				fmt.Fprint(stdout, " ")
 			}
-			fmt.Printf("%d", kc)
+			fmt.Fprintf(stdout, "%d", kc)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if *showMetrics {
-		fmt.Println("--- metrics ---")
-		if err := swiftsim.WriteMetricsReport(os.Stdout, res); err != nil {
+		fmt.Fprintln(stdout, "--- metrics ---")
+		if err := swiftsim.WriteMetricsReport(stdout, res); err != nil {
 			return err
 		}
 	}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -18,26 +19,38 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
-	}
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() error {
-	appName := flag.String("app", "", "workload to generate (see swiftsim -list)")
-	scale := flag.Float64("scale", 1.0, "problem scale")
-	out := flag.String("o", "", "output .sgt path (default <app>.sgt)")
-	all := flag.Bool("all", false, "generate every bundled workload")
-	dir := flag.String("dir", ".", "output directory for -all")
-	flag.Parse()
+// realMain runs the command and returns the process exit code. Split from
+// main so tests can drive the full command, including flag parsing and
+// exit codes.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	if err := run(args, stdout, stderr); err != nil {
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 1
+	}
+	return 0
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	appName := fs.String("app", "", "workload to generate (see swiftsim -list)")
+	scale := fs.Float64("scale", 1.0, "problem scale")
+	out := fs.String("o", "", "output .sgt path (default <app>.sgt)")
+	all := fs.Bool("all", false, "generate every bundled workload")
+	dir := fs.String("dir", ".", "output directory for -all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *all {
 		if err := os.MkdirAll(*dir, 0o755); err != nil {
 			return err
 		}
 		for _, name := range swiftsim.Workloads() {
-			if err := generate(name, *scale, filepath.Join(*dir, name+".sgt")); err != nil {
+			if err := generate(stdout, name, *scale, filepath.Join(*dir, name+".sgt")); err != nil {
 				return err
 			}
 		}
@@ -50,10 +63,10 @@ func run() error {
 	if path == "" {
 		path = *appName + ".sgt"
 	}
-	return generate(*appName, *scale, path)
+	return generate(stdout, *appName, *scale, path)
 }
 
-func generate(name string, scale float64, path string) error {
+func generate(stdout io.Writer, name string, scale float64, path string) error {
 	app, err := swiftsim.GenerateWorkload(name, scale)
 	if err != nil {
 		return err
@@ -61,6 +74,6 @@ func generate(name string, scale float64, path string) error {
 	if err := swiftsim.WriteTrace(path, app); err != nil {
 		return err
 	}
-	fmt.Printf("%-12s %8d instructions -> %s\n", name, app.Insts(), path)
+	fmt.Fprintf(stdout, "%-12s %8d instructions -> %s\n", name, app.Insts(), path)
 	return nil
 }

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"swiftsim"
+)
+
+func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw strings.Builder
+	code = realMain(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestGenerateOneApp(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bfs.sgt")
+	code, out, stderr := runCmd(t, "-app", "BFS", "-scale", "0.1", "-o", path)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(out, "BFS") || !strings.Contains(out, path) {
+		t.Errorf("report line missing app or path:\n%s", out)
+	}
+	app, err := swiftsim.ReadTrace(path)
+	if err != nil {
+		t.Fatalf("generated trace does not parse: %v", err)
+	}
+	if app.Name != "BFS" {
+		t.Errorf("trace app = %s, want BFS", app.Name)
+	}
+}
+
+func TestGenerateGzip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bfs.sgt.gz")
+	if code, _, stderr := runCmd(t, "-app", "BFS", "-scale", "0.1", "-o", path); code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if _, err := swiftsim.ReadTrace(path); err != nil {
+		t.Fatalf("gzip trace does not parse: %v", err)
+	}
+}
+
+func TestGenerateAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates the full catalog")
+	}
+	dir := t.TempDir()
+	code, out, stderr := runCmd(t, "-all", "-scale", "0.1", "-dir", dir)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	names := swiftsim.Workloads()
+	if got := strings.Count(out, "->"); got != len(names) {
+		t.Errorf("report lines = %d, want %d", got, len(names))
+	}
+	for _, name := range names {
+		if _, err := os.Stat(filepath.Join(dir, name+".sgt")); err != nil {
+			t.Errorf("missing trace for %s: %v", name, err)
+		}
+	}
+}
+
+func TestExitOneOnErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no app", nil, "-app or -all is required"},
+		{"bad flag", []string{"-no-such-flag"}, "flag provided but not defined"},
+		{"unknown app", []string{"-app", "NOPE"}, "NOPE"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCmd(t, tc.args...)
+			if code != 1 {
+				t.Fatalf("exit = %d, want 1", code)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr missing %q:\n%s", tc.want, stderr)
+			}
+		})
+	}
+}

@@ -38,7 +38,11 @@ type Timed struct {
 	inflight int
 
 	hits, misses  *metrics.Counter
-	sectorMisses  *metrics.Counter // line present, sector absent
+	// readHits/readMisses count the read subset of hits/misses, so hit
+	// rates can be compared against read-only models (the reuse profiler
+	// never services a store from the L1).
+	readHits, readMisses *metrics.Counter
+	sectorMisses         *metrics.Counter // line present, sector absent
 	bankConflicts *metrics.Counter
 	mshrMerges    *metrics.Counter
 	mshrStalls    *metrics.Counter
@@ -61,6 +65,8 @@ func NewTimed(name string, cfg config.Cache, level mem.Level, eng *engine.Engine
 		banks:         make([][]*mem.Request, cfg.Banks),
 		hits:          g.Counter(name + ".hit"),
 		misses:        g.Counter(name + ".miss"),
+		readHits:      g.Counter(name + ".read_hit"),
+		readMisses:    g.Counter(name + ".read_miss"),
 		sectorMisses:  g.Counter(name + ".sector_miss"),
 		bankConflicts: g.Counter(name + ".bank_conflict"),
 		mshrMerges:    g.Counter(name + ".mshr_merge"),
@@ -137,6 +143,7 @@ func (c *Timed) process(r *mem.Request) bool {
 	l, sectorHit := c.tags.lookup(r.Addr)
 	if sectorHit {
 		c.hits.Inc()
+		c.readHits.Inc()
 		c.complete(r, c.level)
 		return true
 	}
@@ -155,6 +162,7 @@ func (c *Timed) process(r *mem.Request) bool {
 		c.sectorMisses.Inc()
 	}
 	c.misses.Inc()
+	c.readMisses.Inc()
 	return true
 }
 

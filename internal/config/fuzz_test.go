@@ -1,0 +1,45 @@
+package config
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadConfig asserts the configuration parser never panics on
+// arbitrary text, only ever returning an error, and that any configuration
+// it accepts is stable under a Marshal/Parse round trip. Marshal output is
+// the comparison form because parsing canonicalizes defaulted fields (the
+// empty NoC topology becomes "crossbar").
+func FuzzLoadConfig(f *testing.F) {
+	for _, name := range PresetNames() {
+		g, _ := Preset(name)
+		f.Add(string(Marshal(g)))
+	}
+	f.Add("gpu.base = RTX3060\nsm.max_warps = 32\n")
+	f.Add("# only comments\n\n")
+	f.Add("key-without-value\n")
+	f.Add("gpu.num_sms = \n")
+	f.Add("gpu.num_sms = -4\n")
+	f.Add("gpu.num_sms = 12\ngpu.num_sms = 13\n")
+	f.Add("gpu.base = NoSuchGPU\n")
+	f.Add("l1.sets = 3\n")      // not a power of two
+	f.Add("l2.ways = 999999\n") // absurd but parseable
+	f.Add("sm.scheduler = bogus\n")
+	f.Add("unknown.key = 1\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		g, err := Parse(strings.NewReader(data))
+		if err != nil {
+			return // rejected input: must only be reported, never panic
+		}
+		m := Marshal(g)
+		g2, err := Parse(bytes.NewReader(m))
+		if err != nil {
+			t.Fatalf("reparsing marshaled config: %v\nmarshaled:\n%s", err, m)
+		}
+		if m2 := Marshal(g2); !bytes.Equal(m, m2) {
+			t.Fatalf("round trip not stable:\nfirst:\n%s\nsecond:\n%s", m, m2)
+		}
+	})
+}

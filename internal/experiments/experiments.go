@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
 	"time"
 
 	"swiftsim/internal/config"
@@ -475,11 +476,18 @@ func (r *Fig6Result) Print(w io.Writer) {
 		fmt.Fprintf(w, "%-10s %-10s %10s %10s\n", row.GPU, row.App,
 			stats.Pct(row.ErrDetailed), stats.Pct(row.ErrBasic))
 	}
-	for _, name := range []string{"RTX2080Ti", "RTX3060", "RTX3090"} {
-		if m, ok := r.MeanErr[name]; ok {
-			fmt.Fprintf(w, "%-10s %-10s %10s %10s\n", name, "MEAN",
-				stats.Pct(m[0]), stats.Pct(m[1]))
-		}
+	// Render the mean rows in sorted key order: ranging over the map
+	// directly would make the report nondeterministic, and a hardcoded
+	// name list would silently drop GPUs added to the figure later.
+	names := make([]string, 0, len(r.MeanErr))
+	for name := range r.MeanErr {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := r.MeanErr[name]
+		fmt.Fprintf(w, "%-10s %-10s %10s %10s\n", name, "MEAN",
+			stats.Pct(m[0]), stats.Pct(m[1]))
 	}
 	printFailures(w, r.Failed)
 }

@@ -242,3 +242,31 @@ func TestFigure6PartialResults(t *testing.T) {
 		}
 	}
 }
+
+// TestFigure6PrintMeanRows pins the mean-row rendering: every MeanErr
+// entry must appear (even for GPU names outside the stock preset list),
+// in sorted order, so report output is deterministic and complete.
+func TestFigure6PrintMeanRows(t *testing.T) {
+	res := &Fig6Result{MeanErr: map[string][2]float64{
+		"ZZZCustom": {0.10, 0.20},
+		"AAACustom": {0.30, 0.40},
+		"RTX3060":   {0.50, 0.60},
+	}}
+	var sb strings.Builder
+	res.Print(&sb)
+	out := sb.String()
+	ia := strings.Index(out, "AAACustom")
+	ir := strings.Index(out, "RTX3060")
+	iz := strings.Index(out, "ZZZCustom")
+	if ia < 0 || ir < 0 || iz < 0 {
+		t.Fatalf("Print dropped a MeanErr entry:\n%s", out)
+	}
+	if !(ia < ir && ir < iz) {
+		t.Errorf("mean rows not in sorted order:\n%s", out)
+	}
+	var sb2 strings.Builder
+	res.Print(&sb2)
+	if sb2.String() != out {
+		t.Error("repeated Print produced different output")
+	}
+}

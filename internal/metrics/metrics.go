@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 )
 
 // Counter is a monotonically increasing event count. Modules hold
@@ -97,6 +98,62 @@ func Ratio(num, den uint64) float64 {
 	return float64(num) / float64(num+den)
 }
 
+// FormatRate renders a rate in the canonical fixed-point form used by
+// byte-stable reports: always six decimals, no exponent, so the same value
+// always serializes to the same bytes.
+func FormatRate(v float64) string {
+	return strconv.FormatFloat(v, 'f', 6, 64)
+}
+
+// missRatePrefixes returns, for sorted counter names, the prefixes <p> that
+// have a "<p>.miss" counter and nonzero hit+miss traffic.
+func missRatePrefixes(names []string, value func(string) uint64) []string {
+	var out []string
+	for _, n := range names {
+		const suffix = ".miss"
+		if len(n) > len(suffix) && n[len(n)-len(suffix):] == suffix {
+			prefix := n[:len(n)-len(suffix)]
+			if value(prefix+".hit")+value(n) > 0 {
+				out = append(out, prefix)
+			}
+		}
+	}
+	return out
+}
+
+// WriteCanonical writes a counter snapshot to w in canonical, byte-stable
+// form: one "name value" line per counter in sorted key order, followed by
+// one "<p>.miss_rate <rate>" line (fixed six-decimal formatting) for every
+// "<p>.hit"/"<p>.miss" counter pair with traffic. Two snapshots with equal
+// contents always serialize to identical bytes, which makes the output
+// suitable for golden-file comparison.
+func WriteCanonical(w io.Writer, m map[string]uint64) error {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	value := func(n string) uint64 { return m[n] }
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "%s %d\n", n, m[n]); err != nil {
+			return err
+		}
+	}
+	for _, p := range missRatePrefixes(names, value) {
+		rate := Ratio(m[p+".miss"], m[p+".hit"])
+		if _, err := fmt.Fprintf(w, "%s.miss_rate %s\n", p, FormatRate(rate)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCanonical writes the gatherer's counters in canonical, byte-stable
+// form (see the package-level WriteCanonical).
+func (g *Gatherer) WriteCanonical(w io.Writer) error {
+	return WriteCanonical(w, g.Snapshot())
+}
+
 // Report writes all counters to w, one "name value" line in sorted order,
 // followed by derived rates for any pair of counters named "<p>.hit" and
 // "<p>.miss".
@@ -107,17 +164,10 @@ func (g *Gatherer) Report(w io.Writer) error {
 			return err
 		}
 	}
-	for _, n := range names {
-		const suffix = ".miss"
-		if len(n) > len(suffix) && n[len(n)-len(suffix):] == suffix {
-			prefix := n[:len(n)-len(suffix)]
-			hit := g.Value(prefix + ".hit")
-			miss := g.Value(n)
-			if hit+miss > 0 {
-				if _, err := fmt.Fprintf(w, "%-40s %.4f\n", prefix+".miss_rate", Ratio(miss, hit)); err != nil {
-					return err
-				}
-			}
+	for _, p := range missRatePrefixes(names, g.Value) {
+		rate := Ratio(g.Value(p+".miss"), g.Value(p+".hit"))
+		if _, err := fmt.Fprintf(w, "%-40s %.4f\n", p+".miss_rate", rate); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,0 +1,114 @@
+package regress
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"swiftsim/internal/runner"
+	"swiftsim/internal/sim"
+	"swiftsim/internal/trace"
+	"swiftsim/internal/workload"
+)
+
+// determinismApps returns the apps the determinism oracle sweeps. The
+// full catalog runs by default; -short keeps a cross-suite sample.
+func determinismApps() []string {
+	if testing.Short() {
+		return []string{"BFS", "GEMM", "SM", "GRU"}
+	}
+	return workload.Names()
+}
+
+// canonicalSweep runs every app through the parallel runner at the given
+// worker count and returns each app's canonical metrics bytes, keyed by
+// app name.
+func canonicalSweep(t *testing.T, apps []string, scale float64, opts sim.Options, threads int) map[string][]byte {
+	t.Helper()
+	corpus := DefaultCorpus()
+	gpu := corpus.GPUs[0]
+	jobs := make([]runner.Job, len(apps))
+	traces := make([]*trace.App, len(apps))
+	for i, name := range apps {
+		app, err := workload.Generate(name, scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces[i] = app
+		jobs[i] = runner.Job{App: app, GPU: gpu, Opts: opts}
+	}
+	outs := runner.Run(jobs, threads, runner.Options{})
+	got := make(map[string][]byte, len(outs))
+	for i, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("%s failed at %d threads: %v", apps[i], threads, o.Err)
+		}
+		got[apps[i]] = Canonical(o.Result)
+	}
+	return got
+}
+
+// requireIdentical asserts two sweeps produced bit-identical canonical
+// metrics for every app.
+func requireIdentical(t *testing.T, label string, base, other map[string][]byte) {
+	t.Helper()
+	for app, want := range base {
+		got, ok := other[app]
+		if !ok {
+			t.Errorf("%s: app %s missing from sweep", label, app)
+			continue
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("%s: %s canonical metrics differ:\n%s", label, app, DiffLines(want, got, 10))
+		}
+	}
+}
+
+// TestDeterminismRepeatedRuns is the core determinism oracle: three
+// repeated single-thread sweeps of the corpus must produce bit-identical
+// canonical metrics.
+func TestDeterminismRepeatedRuns(t *testing.T) {
+	apps := determinismApps()
+	opts := DefaultCorpus().Opts
+	base := canonicalSweep(t, apps, 0.25, opts, 1)
+	for run := 2; run <= 3; run++ {
+		requireIdentical(t, "repeat run", base, canonicalSweep(t, apps, 0.25, opts, 1))
+	}
+}
+
+// TestDeterminismAcrossThreadCounts asserts worker-pool size cannot change
+// results: threads ∈ {1, 4, NumCPU} all match, because every job is an
+// independent simulator instance.
+func TestDeterminismAcrossThreadCounts(t *testing.T) {
+	apps := determinismApps()
+	opts := DefaultCorpus().Opts
+	base := canonicalSweep(t, apps, 0.25, opts, 1)
+	for _, threads := range []int{4, runtime.NumCPU()} {
+		requireIdentical(t, "threads", base, canonicalSweep(t, apps, 0.25, opts, threads))
+	}
+}
+
+// TestDeterminismCycleAccurate covers the cycle-accurate memory path
+// (Swift-Sim-Basic), whose event scheduling is the likeliest place for
+// accidental nondeterminism to creep in during refactors.
+func TestDeterminismCycleAccurate(t *testing.T) {
+	apps := []string{"BFS", "GEMM", "SM"}
+	if testing.Short() {
+		apps = apps[:1]
+	}
+	opts := sim.Options{Kind: sim.Basic}
+	base := canonicalSweep(t, apps, 0.25, opts, 1)
+	requireIdentical(t, "basic repeat", base, canonicalSweep(t, apps, 0.25, opts, 1))
+	requireIdentical(t, "basic threads=4", base, canonicalSweep(t, apps, 0.25, opts, 4))
+}
+
+// TestDeterminismHitRateSources pins both hit-rate extraction paths of
+// Swift-Sim-Memory: repeated profiling must agree with itself.
+func TestDeterminismHitRateSources(t *testing.T) {
+	for _, src := range []sim.HitRateSource{sim.FunctionalCaches, sim.ReuseDistance} {
+		opts := sim.Options{Kind: sim.Memory, HitRates: src}
+		apps := []string{"PAGERANK"}
+		base := canonicalSweep(t, apps, 0.25, opts, 1)
+		requireIdentical(t, "hit-rate source", base, canonicalSweep(t, apps, 0.25, opts, 1))
+	}
+}

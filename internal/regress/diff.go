@@ -1,0 +1,157 @@
+package regress
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"swiftsim/internal/config"
+	"swiftsim/internal/metrics"
+	"swiftsim/internal/reuse"
+	"swiftsim/internal/sim"
+	"swiftsim/internal/trace"
+)
+
+// KernelDelta is one kernel's cycle comparison between two simulator
+// configurations.
+type KernelDelta struct {
+	// Index is the kernel's launch position; Name its trace name.
+	Index int
+	Name  string
+	// Ref and Alt are the kernel cycles under the reference and alternate
+	// configurations; Rel is |Alt-Ref|/Ref.
+	Ref, Alt uint64
+	Rel      float64
+}
+
+// KindDiff is the differential-oracle comparison of two simulator
+// configurations on one application: the alternate (typically analytical)
+// configuration's cycles measured against the reference (typically
+// cycle-accurate) configuration's, app-wide and per kernel.
+type KindDiff struct {
+	App, GPU string
+	RefKind  sim.Kind
+	AltKind  sim.Kind
+	// Ref and Alt are total application cycles; Rel is |Alt-Ref|/Ref.
+	Ref, Alt uint64
+	Rel      float64
+	Kernels  []KernelDelta
+}
+
+// relDelta returns |alt-ref|/ref (0 when both are zero, +Inf when only ref
+// is zero).
+func relDelta(ref, alt uint64) float64 {
+	if ref == alt {
+		return 0
+	}
+	if ref == 0 {
+		return math.Inf(1)
+	}
+	d := float64(alt) - float64(ref)
+	return math.Abs(d) / float64(ref)
+}
+
+// CompareKinds runs app under both configurations and returns the
+// per-kernel cycle comparison. optRef is the reference (its cycles are the
+// denominator of every relative delta).
+func CompareKinds(app *trace.App, gpu config.GPU, optRef, optAlt sim.Options) (*KindDiff, error) {
+	ref, err := sim.Run(app, gpu, optRef)
+	if err != nil {
+		return nil, fmt.Errorf("regress: %s on %s (%v): %w", app.Name, gpu.Name, optRef.Kind, err)
+	}
+	alt, err := sim.Run(app, gpu, optAlt)
+	if err != nil {
+		return nil, fmt.Errorf("regress: %s on %s (%v): %w", app.Name, gpu.Name, optAlt.Kind, err)
+	}
+	d := &KindDiff{
+		App: app.Name, GPU: gpu.Name,
+		RefKind: optRef.Kind, AltKind: optAlt.Kind,
+		Ref: ref.Cycles, Alt: alt.Cycles,
+		Rel: relDelta(ref.Cycles, alt.Cycles),
+	}
+	for i := range ref.KernelCycles {
+		kd := KernelDelta{Index: i}
+		if i < len(app.Kernels) {
+			kd.Name = app.Kernels[i].Name
+		}
+		kd.Ref = ref.KernelCycles[i]
+		if i < len(alt.KernelCycles) {
+			kd.Alt = alt.KernelCycles[i]
+		}
+		kd.Rel = relDelta(kd.Ref, kd.Alt)
+		d.Kernels = append(d.Kernels, kd)
+	}
+	return d, nil
+}
+
+// Within reports whether the app-wide relative delta is inside tol.
+func (d *KindDiff) Within(tol float64) bool { return d.Rel <= tol }
+
+// String renders the per-kernel diff table shown when the differential
+// oracle fails.
+func (d *KindDiff) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s on %s: %v %d cycles vs %v %d cycles (rel %s)\n",
+		d.App, d.GPU, d.RefKind, d.Ref, d.AltKind, d.Alt, metrics.FormatRate(d.Rel))
+	fmt.Fprintf(&b, "  %-4s %-24s %12s %12s %10s\n", "k", "kernel", d.RefKind.String(), d.AltKind.String(), "rel")
+	for _, k := range d.Kernels {
+		fmt.Fprintf(&b, "  %-4d %-24s %12d %12d %10s\n",
+			k.Index, k.Name, k.Ref, k.Alt, metrics.FormatRate(k.Rel))
+	}
+	return b.String()
+}
+
+// HitRateDiff compares the hit rates the analytical memory model consumes
+// (extracted by internal/reuse) against the rates the cycle-accurate timed
+// caches of internal/cache observe during a Swift-Sim-Basic run of the
+// same trace.
+type HitRateDiff struct {
+	App, GPU string
+	// TimedL1 and ProfiledL1 are the L1 read service rates: the timed
+	// caches' read_hit/(read_hit+read_miss) vs the profile's fraction of
+	// load sector transactions serviced by the L1.
+	TimedL1, ProfiledL1 float64
+	// TimedL2 and ProfiledL2 are the L2 read hit rates conditioned on
+	// read traffic that reached the L2.
+	TimedL2, ProfiledL2 float64
+}
+
+// CompareHitRates runs a Swift-Sim-Basic simulation (timed caches) and the
+// functional reuse profiler over the same trace and pairs up their rates.
+func CompareHitRates(app *trace.App, gpu config.GPU) (*HitRateDiff, error) {
+	res, err := sim.Run(app, gpu, sim.Options{Kind: sim.Basic})
+	if err != nil {
+		return nil, fmt.Errorf("regress: %s on %s (timed caches): %w", app.Name, gpu.Name, err)
+	}
+	prof := reuse.ProfileApp(app, gpu)
+
+	m := res.Metrics
+	d := &HitRateDiff{App: app.Name, GPU: gpu.Name}
+	// Compare read transactions only: the timed caches count store
+	// hits/misses too (write-through no-allocate), but the profiler never
+	// services a store from the L1, so the all-access rates are not
+	// commensurable. The read_hit/read_miss counters and Profile
+	// DefaultReads both restrict to loads.
+	d.TimedL1 = metrics.Ratio(m["l1.read_hit"], m["l1.read_miss"])
+	d.ProfiledL1 = prof.DefaultReads.L1
+	d.TimedL2 = metrics.Ratio(m["l2.read_hit"], m["l2.read_miss"])
+	l2Traffic := prof.DefaultReads.L2 + prof.DefaultReads.DRAM
+	if l2Traffic > 0 {
+		d.ProfiledL2 = prof.DefaultReads.L2 / l2Traffic
+	}
+	return d, nil
+}
+
+// L1Delta and L2Delta return the absolute rate disagreements.
+func (d *HitRateDiff) L1Delta() float64 { return math.Abs(d.TimedL1 - d.ProfiledL1) }
+
+// L2Delta returns the absolute L2 rate disagreement.
+func (d *HitRateDiff) L2Delta() float64 { return math.Abs(d.TimedL2 - d.ProfiledL2) }
+
+// String renders the rate comparison for failure messages.
+func (d *HitRateDiff) String() string {
+	return fmt.Sprintf("%s on %s: L1 timed %s vs profiled %s (delta %s); L2 timed %s vs profiled %s (delta %s)",
+		d.App, d.GPU,
+		metrics.FormatRate(d.TimedL1), metrics.FormatRate(d.ProfiledL1), metrics.FormatRate(d.L1Delta()),
+		metrics.FormatRate(d.TimedL2), metrics.FormatRate(d.ProfiledL2), metrics.FormatRate(d.L2Delta()))
+}

@@ -1,0 +1,134 @@
+package regress
+
+import (
+	"testing"
+
+	"swiftsim/internal/config"
+	"swiftsim/internal/sim"
+	"swiftsim/internal/workload"
+)
+
+// tolerance bounds one app's allowed disagreement between the hybrid
+// configurations on the RTX 2080 Ti (the preset the envelopes below were
+// measured on).
+type tolerance struct {
+	// rel bounds the app-wide Basic-vs-Memory relative cycle delta;
+	// kernelRel bounds every per-kernel delta.
+	rel, kernelRel float64
+	// l1, l2 bound the absolute read hit-rate disagreement between the
+	// timed caches and the functional reuse profiler.
+	l1, l2 float64
+}
+
+// defaultTol covers the well-behaved majority of the catalog with ~1.5x
+// headroom over the measured envelope at scale 0.25.
+var defaultTol = tolerance{rel: 0.20, kernelRel: 0.32, l1: 0.08, l2: 0.10}
+
+// tolOverrides lists the apps whose models genuinely diverge further.
+//
+//   - PAGERANK/BFS/SSSP: divergent graph gathers. The analytical model
+//     prices every load with app-wide average hit rates, but these apps'
+//     latency is dominated by a few fully-diverged frontier loads, so the
+//     cycle disagreement is structural (measured up to 1.08x app-wide).
+//   - WC: every load line of its 64 KiB-strided scan maps to L1 set 0
+//     (the 64-set x 128 B L1 aliases at 8 KiB), so the timeless functional
+//     model sees pure conflict misses while the timed cache's fine-grained
+//     warp interleaving salvages ~23% of reads. A textbook timing-dependent
+//     hit-rate case the paper's Eq. 1 inputs cannot capture.
+//   - ATAX/ADI/GRU/BACKPROP/NW/LSTM: MSHR merges (counted as misses by the
+//     timed cache, as hits by the functional model) and eviction-order
+//     timing shift the read rates by 0.03-0.18.
+//
+// Tightening any entry requires improving the analytical model first; see
+// DESIGN.md.
+var tolOverrides = map[string]tolerance{
+	"PAGERANK": {rel: 1.30, kernelRel: 1.35, l1: 0.08, l2: 0.10},
+	"BFS":      {rel: 0.85, kernelRel: 1.20, l1: 0.08, l2: 0.10},
+	"SSSP":     {rel: 0.70, kernelRel: 1.00, l1: 0.08, l2: 0.10},
+	"WC":       {rel: 0.20, kernelRel: 0.32, l1: 0.32, l2: 0.20},
+	"ATAX":     {rel: 0.20, kernelRel: 0.32, l1: 0.18, l2: 0.25},
+	"ADI":      {rel: 0.20, kernelRel: 0.32, l1: 0.14, l2: 0.20},
+	"GRU":      {rel: 0.20, kernelRel: 0.32, l1: 0.22, l2: 0.10},
+	"BACKPROP": {rel: 0.20, kernelRel: 0.32, l1: 0.16, l2: 0.10},
+	"NW":       {rel: 0.20, kernelRel: 0.32, l1: 0.13, l2: 0.10},
+	"LSTM":     {rel: 0.20, kernelRel: 0.32, l1: 0.12, l2: 0.10},
+	"SM":       {rel: 0.20, kernelRel: 0.32, l1: 0.08, l2: 0.14},
+}
+
+func tolFor(app string) tolerance {
+	if t, ok := tolOverrides[app]; ok {
+		return t
+	}
+	return defaultTol
+}
+
+// diffApps returns the apps the differential oracle covers; -short keeps a
+// sample spanning the tight and loose ends of the tolerance table.
+func diffApps() []string {
+	if testing.Short() {
+		return []string{"HOTSPOT", "GEMM", "WC", "BFS"}
+	}
+	return workload.Names()
+}
+
+// TestDifferentialBasicVsMemory is the cycle differential oracle:
+// Swift-Sim-Memory's analytical cycles must stay within each app's
+// configured tolerance of Swift-Sim-Basic's cycle-accurate memory path,
+// app-wide and per kernel. A failure prints the per-kernel diff table.
+func TestDifferentialBasicVsMemory(t *testing.T) {
+	gpu := config.RTX2080Ti()
+	for _, name := range diffApps() {
+		t.Run(name, func(t *testing.T) {
+			app, err := workload.Generate(name, 0.25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := CompareKinds(app, gpu,
+				sim.Options{Kind: sim.Basic}, sim.Options{Kind: sim.Memory})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tol := tolFor(name)
+			if !d.Within(tol.rel) {
+				t.Errorf("app-wide cycle delta %.3f exceeds tolerance %.2f:\n%s",
+					d.Rel, tol.rel, d)
+			}
+			for _, k := range d.Kernels {
+				if k.Rel > tol.kernelRel {
+					t.Errorf("kernel %d (%s) cycle delta %.3f exceeds tolerance %.2f:\n%s",
+						k.Index, k.Name, k.Rel, tol.kernelRel, d)
+					break
+				}
+			}
+		})
+	}
+}
+
+// TestHitRateAgreement is the hit-rate differential oracle: the functional
+// reuse profiler's read service rates (the analytical model's Eq. 1
+// inputs) must stay within each app's tolerance of the rates the timed
+// caches observe during a cycle-accurate run of the same trace.
+func TestHitRateAgreement(t *testing.T) {
+	gpu := config.RTX2080Ti()
+	for _, name := range diffApps() {
+		t.Run(name, func(t *testing.T) {
+			app, err := workload.Generate(name, 0.25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := CompareHitRates(app, gpu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tol := tolFor(name)
+			if d.L1Delta() > tol.l1 {
+				t.Errorf("L1 read hit-rate delta %.3f exceeds tolerance %.2f:\n%s",
+					d.L1Delta(), tol.l1, d)
+			}
+			if d.L2Delta() > tol.l2 {
+				t.Errorf("L2 read hit-rate delta %.3f exceeds tolerance %.2f:\n%s",
+					d.L2Delta(), tol.l2, d)
+			}
+		})
+	}
+}

@@ -1,0 +1,188 @@
+// Package regress is Swift-Sim's golden-fixture regression and
+// differential-testing subsystem — the safety net that makes the ROADMAP's
+// "refactor freely" mandate tenable.
+//
+// Three oracles live here:
+//
+//   - Golden metrics: every simulation result can be rendered to a
+//     canonical, byte-stable text form (Canonical). Committed fixtures
+//     under testdata/golden pin the exact metrics of the 20-app workload
+//     catalog on the three GPU presets; any drift — an extra cycle, a
+//     changed counter — fails `go test ./internal/regress/...` until the
+//     change is acknowledged with `-update`.
+//   - Determinism: the same trace and configuration must produce
+//     bit-identical canonical output across repeated runs and across
+//     worker-pool sizes (threads 1, 4, NumCPU), because each job is an
+//     independent simulator instance. Silent nondeterminism is the first
+//     thing that corrupts correlation numbers once sweeps run
+//     multi-threaded.
+//   - Differential: the hybrid configurations must agree with each other —
+//     Swift-Sim-Memory's analytical cycles within a configured tolerance
+//     of Swift-Sim-Basic's cycle-accurate memory path, and the reuse
+//     profiler's hit rates within tolerance of the timed caches. Failures
+//     print a per-kernel diff (see diff.go).
+package regress
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strconv"
+
+	"swiftsim/internal/config"
+	"swiftsim/internal/metrics"
+	"swiftsim/internal/sim"
+	"swiftsim/internal/workload"
+)
+
+// Corpus defines a golden regression corpus: the cross product of
+// applications and GPU configurations, simulated at one problem scale under
+// one simulator configuration.
+type Corpus struct {
+	// Apps lists workload-catalog application names.
+	Apps []string
+	// GPUs lists the hardware configurations.
+	GPUs []config.GPU
+	// Scale is the workload problem scale.
+	Scale float64
+	// Opts selects the simulator configuration for every case.
+	Opts sim.Options
+}
+
+// DefaultCorpus returns the committed golden corpus: all 20 catalog
+// applications on the three GPU presets of Table I, at scale 0.25 under
+// Swift-Sim-Memory (the fastest configuration, so the full 60-case corpus
+// reruns in seconds while still exercising the trace generators, the reuse
+// profiler, the analytical memory model, the warp/block schedulers, and the
+// metrics pipeline end to end).
+func DefaultCorpus() Corpus {
+	return Corpus{
+		Apps:  workload.Names(),
+		GPUs:  []config.GPU{config.RTX2080Ti(), config.RTX3060(), config.RTX3090()},
+		Scale: 0.25,
+		Opts:  sim.Options{Kind: sim.Memory},
+	}
+}
+
+// Case is one (application, GPU) cell of a corpus.
+type Case struct {
+	App   string
+	GPU   config.GPU
+	Scale float64
+	Opts  sim.Options
+}
+
+// Cases expands the corpus into its cases, GPUs outermost, in declaration
+// order (deterministic).
+func (c Corpus) Cases() []Case {
+	out := make([]Case, 0, len(c.GPUs)*len(c.Apps))
+	for _, gpu := range c.GPUs {
+		for _, app := range c.Apps {
+			out = append(out, Case{App: app, GPU: gpu, Scale: c.Scale, Opts: c.Opts})
+		}
+	}
+	return out
+}
+
+// Run generates the case's workload trace and simulates it.
+func (cs Case) Run() (*sim.Result, error) {
+	app, err := workload.Generate(cs.App, cs.Scale)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(app, cs.GPU, cs.Opts)
+}
+
+// GoldenPath returns the testdata-relative fixture path for a case:
+// testdata/golden/<gpu>/<app>.golden.
+func GoldenPath(gpuName, appName string) string {
+	return filepath.Join("testdata", "golden", gpuName, appName+".golden")
+}
+
+// Canonical renders a simulation result in canonical, byte-stable form:
+// fixed header fields, per-kernel cycle counts in launch order, and the
+// full metrics snapshot in sorted key order with fixed-format derived
+// rates. Wall-clock time is deliberately excluded — it is the only
+// nondeterministic field of a result. Byte equality of two canonical
+// renderings is the determinism criterion used throughout this package.
+func Canonical(res *sim.Result) []byte {
+	var b bytes.Buffer
+	b.WriteString("swiftsim-canonical 1\n")
+	fmt.Fprintf(&b, "app %s\n", res.App)
+	fmt.Fprintf(&b, "gpu %s\n", res.GPUName)
+	fmt.Fprintf(&b, "sim %s\n", res.Kind)
+	fmt.Fprintf(&b, "cycles %d\n", res.Cycles)
+	fmt.Fprintf(&b, "instructions %d\n", res.Instructions)
+	fmt.Fprintf(&b, "ticked %d\n", res.TickedCycles)
+	fmt.Fprintf(&b, "skipped %d\n", res.SkippedCycles)
+	fmt.Fprintf(&b, "sampled %s\n", strconv.FormatBool(res.Sampled))
+	fmt.Fprintf(&b, "kernels %d\n", len(res.KernelCycles))
+	for i, kc := range res.KernelCycles {
+		fmt.Fprintf(&b, "kernel %d %d\n", i, kc)
+	}
+	fmt.Fprintf(&b, "metrics %d\n", len(res.Metrics))
+	// bytes.Buffer writes cannot fail.
+	_ = metrics.WriteCanonical(&b, res.Metrics)
+	return b.Bytes()
+}
+
+// DiffLines renders a compact line-oriented diff between two canonical
+// renderings, at most max differing lines (0 = all). It is the failure
+// message of the golden and determinism oracles: each differing line is
+// shown as "-want / +got" with its line number.
+func DiffLines(want, got []byte, max int) string {
+	w := bytes.Split(want, []byte("\n"))
+	g := bytes.Split(got, []byte("\n"))
+	n := len(w)
+	if len(g) > n {
+		n = len(g)
+	}
+	var b bytes.Buffer
+	shown := 0
+	for i := 0; i < n; i++ {
+		var wl, gl []byte
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if bytes.Equal(wl, gl) {
+			continue
+		}
+		if max > 0 && shown >= max {
+			fmt.Fprintf(&b, "... (%d more differing lines)\n", countDiffs(w, g, i))
+			break
+		}
+		if i < len(w) {
+			fmt.Fprintf(&b, "line %d: -%s\n", i+1, wl)
+		}
+		if i < len(g) {
+			fmt.Fprintf(&b, "line %d: +%s\n", i+1, gl)
+		}
+		shown++
+	}
+	return b.String()
+}
+
+// countDiffs counts differing line positions from index from onward.
+func countDiffs(w, g [][]byte, from int) int {
+	n := len(w)
+	if len(g) > n {
+		n = len(g)
+	}
+	count := 0
+	for i := from; i < n; i++ {
+		var wl, gl []byte
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if !bytes.Equal(wl, gl) {
+			count++
+		}
+	}
+	return count
+}

@@ -42,6 +42,12 @@ type Profile struct {
 	// Default is the application-wide aggregate, used for instructions
 	// missing from PerPC.
 	Default Rates
+	// DefaultReads is the application-wide aggregate restricted to load
+	// transactions. Stores are never serviced by the write-through
+	// no-allocate L1, so read-only rates are the ones directly comparable
+	// to the timed caches' read_hit/read_miss counters (the differential
+	// oracle in internal/regress relies on this).
+	DefaultReads Rates
 	// Accesses is the total number of sector transactions profiled.
 	Accesses uint64
 }
@@ -140,7 +146,7 @@ func ProfileApp(app *trace.App, gpu config.GPU) *Profile {
 	l2 := cache.NewFunctional(l2cfg)
 
 	per := make(map[Key]*counts)
-	var agg counts
+	var agg, aggReads counts
 	var accesses uint64
 
 	// L1s are invalidated at kernel boundaries, exactly as the timing
@@ -162,18 +168,25 @@ func ProfileApp(app *trace.App, gpu config.GPU) *Profile {
 		if !a.write && l1s[a.sm].Access(a.sector, false) {
 			c.l1++
 			agg.l1++
+			aggReads.l1++
 			return
 		}
 		if l2.Access(a.sector, a.write) {
 			c.l2++
 			agg.l2++
+			if !a.write {
+				aggReads.l2++
+			}
 			return
 		}
 		c.dram++
 		agg.dram++
+		if !a.write {
+			aggReads.dram++
+		}
 	})
 
-	return buildProfile(per, agg, accesses)
+	return buildProfile(per, agg, aggReads, accesses)
 }
 
 // ProfileAppReuseDistance extracts hit rates from LRU stack distances: an
@@ -192,7 +205,7 @@ func ProfileAppReuseDistance(app *trace.App, gpu config.GPU) *Profile {
 	l2 := newDistanceTracker()
 
 	per := make(map[Key]*counts)
-	var agg counts
+	var agg, aggReads counts
 	var accesses uint64
 
 	onKernel := func(int) {
@@ -211,26 +224,34 @@ func ProfileAppReuseDistance(app *trace.App, gpu config.GPU) *Profile {
 			if d := l1[a.sm].access(a.sector); d < l1Cap {
 				c.l1++
 				agg.l1++
+				aggReads.l1++
 				return
 			}
 		}
 		if d := l2.access(a.sector); d < l2Cap {
 			c.l2++
 			agg.l2++
+			if !a.write {
+				aggReads.l2++
+			}
 			return
 		}
 		c.dram++
 		agg.dram++
+		if !a.write {
+			aggReads.dram++
+		}
 	})
 
-	return buildProfile(per, agg, accesses)
+	return buildProfile(per, agg, aggReads, accesses)
 }
 
-func buildProfile(per map[Key]*counts, agg counts, accesses uint64) *Profile {
+func buildProfile(per map[Key]*counts, agg, aggReads counts, accesses uint64) *Profile {
 	p := &Profile{
-		PerPC:    make(map[Key]Rates, len(per)),
-		Default:  agg.rates(),
-		Accesses: accesses,
+		PerPC:        make(map[Key]Rates, len(per)),
+		Default:      agg.rates(),
+		DefaultReads: aggReads.rates(),
+		Accesses:     accesses,
 	}
 	for k, c := range per {
 		p.PerPC[k] = c.rates()

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// validSGT is a small hand-written trace covering every syntactic feature:
+// two kernels, multi-block grids, multi-warp blocks, comments, blank
+// lines, and instructions with and without address lists.
+const validSGT = `sgt 1
+# comment lines and blank lines are ignored
+
+app demo suite test kernels 2
+kernel k0 grid 2,1,1 block 64,1,1 regs 16 shmem 0
+blocktrace 0
+warp 0 insts 3
+0 LDG 1 0 0 f 10000000 10000004 10000008 1000000c
+8 INT 2 1 0 f
+16 EXIT 0 0 0 0
+warp 1 insts 2
+0 SP 1 0 0 3
+8 EXIT 0 0 0 0
+blocktrace 1
+warp 0 insts 3
+0 LDG 1 0 0 1 10000040
+8 STG 0 1 0 1 20000000
+16 EXIT 0 0 0 0
+warp 1 insts 2
+0 DP 1 0 0 1
+8 EXIT 0 0 0 0
+kernel k1 grid 1,1,1 block 32,1,1 regs 8 shmem 2048
+blocktrace 0
+warp 0 insts 5
+0 LDS 1 0 0 3 0 4
+8 SFU 2 1 0 3
+16 BAR 0 0 0 0
+24 STS 0 1 0 1 8
+32 EXIT 0 0 0 0
+endapp
+`
+
+// FuzzParseTrace asserts the .sgt parser never panics or runs away on
+// arbitrary input, and that any input it accepts survives a
+// Write/Read round trip unchanged (the parser and serializer agree).
+func FuzzParseTrace(f *testing.F) {
+	f.Add(validSGT)
+	// Malformed seeds steer the fuzzer toward each parser stage.
+	f.Add("")
+	f.Add("sgt 1")
+	f.Add("sgt 2\napp x suite y kernels 1\n")
+	f.Add("sgt 1\napp x suite y kernels 99999999\n")
+	f.Add("sgt 1\napp x suite y kernels 1\nkernel k grid 9999999,9999999,9999999 block 1,1,1 regs 0 shmem 0\n")
+	f.Add("sgt 1\napp x suite y kernels 1\nkernel k grid 1,1,1 block -5,1,1 regs 0 shmem 0\n")
+	f.Add("sgt 1\napp x suite y kernels 1\nkernel k grid 1,1,1 block 32,1,1 regs 8 shmem 0\nblocktrace 0\nwarp 0 insts 67108864\n")
+	f.Add("sgt 1\napp x suite y kernels 1\nkernel k grid 1,1,1 block 32,1,1 regs 8 shmem 0\nblocktrace 0\nwarp 0 insts 1\n0 bogus.op 0 0 0 ff\n")
+	f.Add(strings.Replace(validSGT, "LDG", "zz.op", 1))
+	f.Add(strings.Replace(validSGT, "insts 3", "insts 1", 1))
+
+	f.Fuzz(func(t *testing.T, data string) {
+		app, err := Read(strings.NewReader(data))
+		if err != nil {
+			return // rejected input: must only be reported, never panic
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, app); err != nil {
+			t.Fatalf("serializing accepted trace: %v", err)
+		}
+		app2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("reparsing serialized trace: %v\ninput:\n%s", err, buf.String())
+		}
+		if !reflect.DeepEqual(app, app2) {
+			t.Fatalf("round trip changed the trace\noriginal: %+v\nreparsed: %+v", app, app2)
+		}
+	})
+}

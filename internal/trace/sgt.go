@@ -194,8 +194,23 @@ func (r *sgtReader) readKernel() (*Kernel, error) {
 		return nil, r.errf("shmem: %v", err)
 	}
 
+	// Validate the dimensions before deriving any allocation size from
+	// them: Grid.Count() is a plain X*Y*Z whose product can overflow int
+	// (wrapping to an innocuous-looking value), and a negative or huge
+	// block extent would turn WarpsPerBlock into a panic- or OOM-sized
+	// make() length. Checking each factor stepwise keeps every
+	// intermediate product inside the final bound, so no overflow can
+	// occur.
+	const maxBlocks = 1 << 22
+	if err := checkDim3(k.Grid, maxBlocks); err != nil {
+		return nil, r.errf("grid: %v", err)
+	}
+	if err := checkDim3(k.Block, maxBlockThreads); err != nil {
+		return nil, r.errf("block: %v", err)
+	}
+
 	nBlocks := k.Grid.Count()
-	if nBlocks <= 0 || nBlocks > 1<<22 {
+	if nBlocks > maxBlocks {
 		return nil, r.errf("unreasonable grid size %d", nBlocks)
 	}
 	wpb := k.WarpsPerBlock()
@@ -237,20 +252,49 @@ func (r *sgtReader) readWarp(want int) (WarpTrace, error) {
 		return nil, r.errf("warp index %q, want %d", f[1], want)
 	}
 	n, err := strconv.Atoi(f[3])
-	if err != nil || n <= 0 || n > 1<<26 {
+	if err != nil || n <= 0 || n > maxWarpInsts {
 		return nil, r.errf("bad instruction count %q", f[3])
 	}
-	warp := make(WarpTrace, n)
+	// Grow the trace as instructions actually arrive instead of trusting
+	// the declared count: a hostile header claiming maxWarpInsts
+	// instructions must not allocate gigabytes before the (truncated)
+	// body is read.
+	warp := make(WarpTrace, 0, min(n, 4096))
 	for i := 0; i < n; i++ {
 		line, ok := r.next()
 		if !ok {
 			return nil, r.errf("truncated warp: %d of %d instructions", i, n)
 		}
-		if err := parseInst(line, &warp[i]); err != nil {
+		var in Inst
+		if err := parseInst(line, &in); err != nil {
 			return nil, r.errf("%v", err)
 		}
+		warp = append(warp, in)
 	}
 	return warp, nil
+}
+
+// Parser bounds. maxWarpInsts caps one warp's declared instruction count
+// (the largest catalog workloads stay well under 1<<20 per warp);
+// maxBlockThreads is the CUDA architectural thread-per-block limit.
+const (
+	maxWarpInsts    = 1 << 20
+	maxBlockThreads = 1024
+)
+
+// checkDim3 rejects non-positive extents and products above limit without
+// ever overflowing: each dimension is bounded before it enters a product,
+// and the product is checked stepwise.
+func checkDim3(d Dim3, limit int) error {
+	for _, v := range []int{d.X, d.Y, d.Z} {
+		if v <= 0 || v > limit {
+			return fmt.Errorf("dimension %s out of range [1,%d]", d, limit)
+		}
+	}
+	if p := d.X * d.Y; p > limit || p*d.Z > limit {
+		return fmt.Errorf("dimension %s: extent exceeds %d", d, limit)
+	}
+	return nil
 }
 
 func parseInst(line string, in *Inst) error {
