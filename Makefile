@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify tier1 golden fuzz-smoke bench update-golden
+.PHONY: verify tier1 golden fuzz-smoke bench bench-quick benchcmp update-golden
 
 # verify = tier-1 + the golden regression corpus + a fuzz smoke of both
 # parsers. This is the full pre-commit gate.
@@ -35,5 +35,20 @@ fuzz-smoke:
 update-golden:
 	$(GO) test -run Golden ./internal/regress/ -update
 
-bench:
+# bench-quick smoke-runs every benchmark once (compile + no-crash check).
+bench-quick:
 	$(GO) test -bench . -benchtime 1x ./...
+
+# bench records the perf-gate benchmarks (the ones with a committed
+# baseline) with enough repetitions for stable medians. Writes bench.txt.
+BENCH_PKGS = . ./internal/engine/
+BENCH_FILTER = 'BenchmarkSimulatorThroughput|BenchmarkGoldenCorpus|BenchmarkEngineActiveSet'
+bench:
+	$(GO) test -run '^$$' -bench $(BENCH_FILTER) -benchtime 2x -count 5 $(BENCH_PKGS) | tee bench.txt
+
+# benchcmp compares a fresh `make bench` run against the committed
+# baseline (bench_baseline.txt) and fails if performance regressed below
+# 0.9x of it. Regenerate the baseline intentionally with
+# `make bench && cp bench.txt bench_baseline.txt`.
+benchcmp: bench
+	$(GO) run ./cmd/benchcmp -gate 0.9 bench_baseline.txt bench.txt

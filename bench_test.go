@@ -10,11 +10,13 @@ package swiftsim
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"swiftsim/internal/config"
 	"swiftsim/internal/experiments"
 	"swiftsim/internal/regress"
+	"swiftsim/internal/runner"
 	"swiftsim/internal/sim"
 	"swiftsim/internal/workload"
 )
@@ -216,6 +218,38 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 				insts = res.Instructions
 			}
 			b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds(), "warp-insts/s")
+		})
+	}
+}
+
+// BenchmarkRunnerScaling measures sweep throughput as the worker count
+// grows — the paper's Figure 5 axis. The job list is a fixed mix of
+// applications and simulator kinds so each thread count does identical
+// work; jobs/s is the comparable metric across sub-benchmarks.
+func BenchmarkRunnerScaling(b *testing.B) {
+	apps := []string{"BFS", "HOTSPOT", "NW", "GEMM", "ADI", "SM", "GRU", "PAGERANK"}
+	gpu := benchGPU()
+	var jobs []runner.Job
+	for _, name := range apps {
+		w, err := workload.Generate(name, 0.2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, kind := range []sim.Kind{sim.Basic, sim.Memory} {
+			jobs = append(jobs, runner.Job{App: w, GPU: gpu, Opts: sim.Options{Kind: kind}})
+		}
+	}
+	threadCounts := []int{1, 2, 4, runtime.NumCPU()}
+	for _, threads := range threadCounts {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, o := range runner.RunAll(jobs, threads) {
+					if o.Err != nil {
+						b.Fatal(o.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 		})
 	}
 }

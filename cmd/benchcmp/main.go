@@ -1,0 +1,187 @@
+// Command benchcmp compares two `go test -bench` output files and prints a
+// per-benchmark speedup table, in the spirit of benchstat but dependency
+// free. Run each side with -count N (N >= 5 recommended); benchcmp
+// aggregates repeated runs of a benchmark by median, which is robust to
+// the occasional scheduling outlier.
+//
+// Usage:
+//
+//	go test -bench=. -count 5 > old.txt
+//	... apply the optimization ...
+//	go test -bench=. -count 5 > new.txt
+//	benchcmp old.txt new.txt
+//
+// Exit codes: 0 — comparison printed; 1 — bad input or I/O error.
+// With -gate X, exit 2 if the geometric-mean speedup falls below X
+// (used by `make benchcmp` as a regression tripwire).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchcmp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	metric := fs.String("metric", "ns/op", "metric to compare (any unit present in the files)")
+	gate := fs.Float64("gate", 0, "fail (exit 2) if geomean speedup < this (0 = no gate)")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchcmp [-metric ns/op] [-gate 1.0] old.txt new.txt")
+		return 1
+	}
+	old, err := parseFile(fs.Arg(0), *metric)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcmp: %v\n", err)
+		return 1
+	}
+	new_, err := parseFile(fs.Arg(1), *metric)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcmp: %v\n", err)
+		return 1
+	}
+
+	// Compare benchmarks present on both sides, in the old file's order.
+	type row struct {
+		name     string
+		old, new float64
+		speedup  float64
+	}
+	var rows []row
+	for _, name := range old.order {
+		nv, ok := new_.samples[name]
+		if !ok {
+			continue
+		}
+		o, n := median(old.samples[name]), median(nv)
+		r := row{name: name, old: o, new: n}
+		if n > 0 {
+			r.speedup = o / n
+		}
+		rows = append(rows, r)
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(stderr, "benchcmp: no common benchmarks")
+		return 1
+	}
+
+	w := 4
+	for _, r := range rows {
+		if len(r.name) > w {
+			w = len(r.name)
+		}
+	}
+	fmt.Fprintf(stdout, "%-*s  %14s  %14s  %8s\n", w, "name", "old "+*metric, "new "+*metric, "speedup")
+	geo, geoN := 0.0, 0
+	for _, r := range rows {
+		fmt.Fprintf(stdout, "%-*s  %14s  %14s  %7.2fx\n", w, r.name, fmtVal(r.old), fmtVal(r.new), r.speedup)
+		if r.speedup > 0 {
+			geo += math.Log(r.speedup)
+			geoN++
+		}
+	}
+	gm := 0.0
+	if geoN > 0 {
+		gm = math.Exp(geo / float64(geoN))
+		fmt.Fprintf(stdout, "%-*s  %14s  %14s  %7.2fx\n", w, "geomean", "", "", gm)
+	}
+	if *gate > 0 && gm < *gate {
+		fmt.Fprintf(stderr, "benchcmp: geomean speedup %.2fx below gate %.2fx\n", gm, *gate)
+		return 2
+	}
+	return 0
+}
+
+// benchSet holds the samples of one file: benchmark name -> metric values,
+// one per -count repetition.
+type benchSet struct {
+	samples map[string][]float64
+	order   []string
+}
+
+func parseFile(path, metric string) (*benchSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parse(f, metric)
+}
+
+// parse reads `go test -bench` output: lines starting with "Benchmark",
+// whitespace-separated as `name iterations {value unit}...`. The -cpu
+// suffix (-8 etc.) is kept — it distinguishes GOMAXPROCS variants.
+func parse(r io.Reader, metric string) (*benchSet, error) {
+	set := &benchSet{samples: make(map[string][]float64)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		// fields[1] is the iteration count; then (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != metric {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad %s value %q", name, metric, fields[i])
+			}
+			if _, seen := set.samples[name]; !seen {
+				set.order = append(set.order, name)
+			}
+			set.samples[name] = append(set.samples[name], v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(set.samples) == 0 {
+		return nil, fmt.Errorf("no benchmark lines with metric %q", metric)
+	}
+	return set, nil
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// fmtVal renders a metric value compactly with SI-ish scaling.
+func fmtVal(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.3gG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.4gM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.4gk", v/1e3)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const oldBench = `goos: linux
+BenchmarkSimulatorThroughput/Detailed-8   2  200000000 ns/op  50 warp-insts/s
+BenchmarkSimulatorThroughput/Detailed-8   2  220000000 ns/op  45 warp-insts/s
+BenchmarkSimulatorThroughput/Detailed-8   2  180000000 ns/op  55 warp-insts/s
+BenchmarkGoldenCorpus-8                   1  1200000000 ns/op 48 cases/s
+PASS
+`
+
+const newBench = `goos: linux
+BenchmarkSimulatorThroughput/Detailed-8   10  50000000 ns/op  200 warp-insts/s
+BenchmarkSimulatorThroughput/Detailed-8   10  40000000 ns/op  250 warp-insts/s
+BenchmarkSimulatorThroughput/Detailed-8   10  45000000 ns/op  220 warp-insts/s
+BenchmarkGoldenCorpus-8                    2  600000000 ns/op 96 cases/s
+BenchmarkOnlyInNew-8                       1  1000 ns/op
+PASS
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompareMedianSpeedup(t *testing.T) {
+	o := writeTemp(t, "old.txt", oldBench)
+	n := writeTemp(t, "new.txt", newBench)
+	var out, errb bytes.Buffer
+	if code := realMain([]string{o, n}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	// Median old 200ms vs median new 45ms: 4.44x.
+	if !strings.Contains(s, "4.44x") {
+		t.Errorf("missing Detailed speedup 4.44x in:\n%s", s)
+	}
+	if !strings.Contains(s, "2.00x") {
+		t.Errorf("missing GoldenCorpus speedup 2.00x in:\n%s", s)
+	}
+	if !strings.Contains(s, "geomean") {
+		t.Errorf("missing geomean in:\n%s", s)
+	}
+	if strings.Contains(s, "OnlyInNew") {
+		t.Errorf("benchmark missing from old side must be skipped:\n%s", s)
+	}
+}
+
+func TestGate(t *testing.T) {
+	o := writeTemp(t, "old.txt", oldBench)
+	n := writeTemp(t, "new.txt", newBench)
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-gate", "10", o, n}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2 (gate at 10x must fail)", code)
+	}
+	if code := realMain([]string{"-gate", "1.5", o, n}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, want 0 (gate at 1.5x must pass)", code)
+	}
+}
+
+func TestAlternateMetric(t *testing.T) {
+	o := writeTemp(t, "old.txt", oldBench)
+	n := writeTemp(t, "new.txt", newBench)
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-metric", "cases/s", o, n}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkGoldenCorpus-8") {
+		t.Errorf("cases/s comparison missing GoldenCorpus:\n%s", out.String())
+	}
+	// Throughput metrics: "speedup" is new/old inverted — the tool reports
+	// old/new, so a rising cases/s shows as 0.5x; callers pick the metric
+	// accordingly. Just assert it parsed one row.
+	if strings.Contains(out.String(), "Detailed") {
+		t.Errorf("Detailed has no cases/s metric, must be skipped:\n%s", out.String())
+	}
+}
+
+func TestBadInput(t *testing.T) {
+	o := writeTemp(t, "old.txt", "no benchmarks here\n")
+	n := writeTemp(t, "new.txt", newBench)
+	var out, errb bytes.Buffer
+	if code := realMain([]string{o, n}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1 for input without benchmarks", code)
+	}
+	if code := realMain([]string{o}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1 for wrong arg count", code)
+	}
+}

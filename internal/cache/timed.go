@@ -24,6 +24,7 @@ type Timed struct {
 	cfg   config.Cache
 	level mem.Level
 	eng   *engine.Engine
+	wake  func() // engine activation callback (nil when standalone)
 	down  mem.Port
 
 	tags  *tags
@@ -37,18 +38,18 @@ type Timed struct {
 	// inflight counts upstream requests accepted but not yet completed.
 	inflight int
 
-	hits, misses  *metrics.Counter
+	hits, misses *metrics.Counter
 	// readHits/readMisses count the read subset of hits/misses, so hit
 	// rates can be compared against read-only models (the reuse profiler
 	// never services a store from the L1).
 	readHits, readMisses *metrics.Counter
 	sectorMisses         *metrics.Counter // line present, sector absent
-	bankConflicts *metrics.Counter
-	mshrMerges    *metrics.Counter
-	mshrStalls    *metrics.Counter
-	evictions     *metrics.Counter
-	writebacks    *metrics.Counter
-	writeAccesses *metrics.Counter
+	bankConflicts        *metrics.Counter
+	mshrMerges           *metrics.Counter
+	mshrStalls           *metrics.Counter
+	evictions            *metrics.Counter
+	writebacks           *metrics.Counter
+	writeAccesses        *metrics.Counter
 }
 
 // NewTimed constructs a cycle-accurate cache named name (the metrics
@@ -90,6 +91,10 @@ func (c *Timed) Busy() bool {
 	return c.inflight > 0 || len(c.toDown) > 0
 }
 
+// SetWake implements engine.WakeAware: an idle cache leaves the engine's
+// per-cycle tick set and re-enters it when a request arrives.
+func (c *Timed) SetWake(wake func()) { c.wake = wake }
+
 // Accept implements mem.Port. Requests are routed to a bank by sector
 // address; a full bank queue rejects the request.
 func (c *Timed) Accept(r *mem.Request) bool {
@@ -100,6 +105,9 @@ func (c *Timed) Accept(r *mem.Request) bool {
 	}
 	c.banks[b] = append(c.banks[b], r)
 	c.inflight++
+	if c.wake != nil {
+		c.wake()
+	}
 	return true
 }
 
@@ -200,25 +208,29 @@ func (c *Timed) fetch(addr uint64, pc uint64, smid int) {
 	sectorAddr := addr &^ uint64(c.cfg.SectorBytes-1)
 	lineAddr := c.tags.lineAddr(addr)
 	sector := c.tags.sector(addr)
-	dr := &mem.Request{
-		Addr: sectorAddr,
-		Size: c.cfg.SectorBytes,
-		PC:   pc,
-		SMID: smid,
+	dr := mem.GetRequest()
+	dr.Addr = sectorAddr
+	dr.Size = c.cfg.SectorBytes
+	dr.PC = pc
+	dr.SMID = smid
+	// The fetch request's life ends when its fill callback has run (the
+	// NoC return path and the downstream level have both let go of it by
+	// then), so the creator recycles it here.
+	dr.Done = func() {
+		c.onFill(lineAddr, sector, sectorAddr, dr.ServicedBy)
+		mem.PutRequest(dr)
 	}
-	dr.Done = func() { c.onFill(lineAddr, sector, sectorAddr, dr.ServicedBy) }
 	c.toDown = append(c.toDown, dr)
 }
 
 func (c *Timed) forwardWrite(r *mem.Request) {
-	sectorAddr := r.Addr &^ uint64(c.cfg.SectorBytes-1)
-	c.toDown = append(c.toDown, &mem.Request{
-		Addr:  sectorAddr,
-		Write: true,
-		Size:  c.cfg.SectorBytes,
-		PC:    r.PC,
-		SMID:  r.SMID,
-	})
+	w := mem.GetRequest()
+	w.Addr = r.Addr &^ uint64(c.cfg.SectorBytes-1)
+	w.Write = true
+	w.Size = c.cfg.SectorBytes
+	w.PC = r.PC
+	w.SMID = r.SMID
+	c.toDown = append(c.toDown, w)
 }
 
 // onFill handles a sector arriving from downstream: install it, write back
@@ -248,11 +260,11 @@ func (c *Timed) installSector(addr uint64) {
 			continue
 		}
 		c.writebacks.Inc()
-		c.toDown = append(c.toDown, &mem.Request{
-			Addr:  base + uint64(s*c.cfg.SectorBytes),
-			Write: true,
-			Size:  c.cfg.SectorBytes,
-		})
+		wb := mem.GetRequest()
+		wb.Addr = base + uint64(s*c.cfg.SectorBytes)
+		wb.Write = true
+		wb.Size = c.cfg.SectorBytes
+		c.toDown = append(c.toDown, wb)
 	}
 }
 
@@ -260,7 +272,16 @@ func (c *Timed) installSector(addr uint64) {
 func (c *Timed) complete(r *mem.Request, lvl mem.Level) {
 	c.eng.Schedule(uint64(c.cfg.HitLatency), func() {
 		c.inflight--
+		// Decide ownership before Complete: a creator's Done callback may
+		// recycle r (zeroing Done), and checking afterwards would free it
+		// a second time.
+		fireAndForget := r.Done == nil
 		r.Complete(lvl)
+		if fireAndForget {
+			// Fire-and-forget write traffic ends here; the completing
+			// consumer recycles it.
+			mem.PutRequest(r)
+		}
 	})
 }
 

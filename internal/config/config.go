@@ -245,6 +245,9 @@ func (g GPU) Validate() error {
 	if g.NoCLatency < 0 {
 		return fmt.Errorf("config %s: NoCLatency must be non-negative, got %d", g.Name, g.NoCLatency)
 	}
+	if g.NoCFlitBytes <= 0 {
+		return fmt.Errorf("config %s: NoCFlitBytes must be positive, got %d", g.Name, g.NoCFlitBytes)
+	}
 	switch g.NoCTopology {
 	case "", "crossbar", "ring":
 	default:

@@ -30,6 +30,7 @@ const (
 type Partition struct {
 	name       string
 	eng        *engine.Engine
+	wake       func() // engine activation callback (nil when standalone)
 	banks      int
 	latency    uint64 // row-miss (full) access latency
 	rowHitLat  uint64
@@ -78,6 +79,12 @@ func (p *Partition) Kind() engine.ModelKind { return engine.CycleAccurate }
 // requests are queued (in-flight accesses complete via scheduled events).
 func (p *Partition) Busy() bool { return len(p.queue) > 0 }
 
+// SetWake implements engine.WakeAware: an idle partition (empty queue)
+// leaves the per-cycle tick set; an arriving request re-activates it. Bank
+// timing state is kept in absolute cycles, so skipped idle cycles do not
+// disturb it.
+func (p *Partition) SetWake(wake func()) { p.wake = wake }
+
 // Accept implements mem.Port.
 func (p *Partition) Accept(r *mem.Request) bool {
 	if len(p.queue) >= queueCap {
@@ -85,6 +92,9 @@ func (p *Partition) Accept(r *mem.Request) bool {
 		return false
 	}
 	p.queue = append(p.queue, r)
+	if p.wake != nil {
+		p.wake()
+	}
 	return true
 }
 
@@ -157,5 +167,16 @@ func (p *Partition) service(cycle uint64, r *mem.Request) {
 	} else {
 		p.reads.Inc()
 	}
-	p.eng.Schedule(lat, func() { r.Complete(mem.LevelDRAM) })
+	p.eng.Schedule(lat, func() {
+		// Decide ownership before Complete: a creator's Done callback may
+		// recycle r (zeroing Done), and checking afterwards would free it
+		// a second time.
+		fireAndForget := r.Done == nil
+		r.Complete(mem.LevelDRAM)
+		if fireAndForget {
+			// Writebacks and write-through forwards end their life here;
+			// requests with callbacks are recycled by their creators.
+			mem.PutRequest(r)
+		}
+	})
 }

@@ -15,6 +15,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"sort"
 )
 
 // ModelKind tells how a module is simulated.
@@ -60,6 +61,30 @@ type Ticker interface {
 	// every registered Ticker is idle the engine jumps to the next
 	// scheduled event instead of ticking through empty cycles.
 	Busy() bool
+}
+
+// WakeAware is a Ticker that self-reports idle→busy transitions. At
+// registration the engine installs a wake callback; the module must invoke
+// it whenever external input (a port Accept, a completion event, a kernel
+// launch) may have given it per-cycle work while it was idle. In exchange
+// the engine stops ticking the module while it is idle: each simulated
+// cycle touches only the active set, and the all-idle check is an O(1)
+// counter test instead of an O(modules) Busy() scan.
+//
+// Tickers that do not implement WakeAware fall back to the compatible
+// legacy contract: they are ticked on every simulated (non-skipped) cycle
+// and their Busy() is polled each cycle.
+//
+// The wake callback is idempotent and cheap when the module is already
+// active, so modules may call it conservatively. It must only be invoked
+// from within the engine's run loop (module ticks or scheduled events) or
+// while the engine is stopped — never from another goroutine.
+type WakeAware interface {
+	Ticker
+	// SetWake installs the engine's activation callback. It is called
+	// once, at Register time. Modules must tolerate running without a
+	// callback installed (standalone unit tests drive Tick directly).
+	SetWake(wake func())
 }
 
 type event struct {
@@ -122,12 +147,50 @@ func (q *eventQueue) siftDown(i int) {
 	}
 }
 
+// tickerEntry is the engine's per-ticker scheduling state.
+type tickerEntry struct {
+	t         Ticker
+	wakeAware bool
+	// active marks membership in the active list. Wake-aware tickers are
+	// active while busy (as of their last post-tick Busy poll) or pending;
+	// legacy tickers are permanently active.
+	active bool
+	// busy is the wake-aware ticker's last polled Busy() state. Only busy
+	// tickers keep the engine from fast-forwarding.
+	busy bool
+	// pending guarantees at least one tick at the next simulated cycle
+	// (set by the wake callback; cleared when the tick happens). A
+	// pending-but-idle ticker does not prevent fast-forwarding — exactly
+	// like the legacy engine, it is simply ticked at whichever cycle the
+	// engine visits next.
+	pending bool
+}
+
 // Engine drives a simulation: it owns simulated time, the set of
 // cycle-accurate tickers, and the event queue used by analytical modules.
+//
+// Tickers are evaluated through an active set: each simulated cycle ticks,
+// in registration order, only the tickers that are busy or were explicitly
+// woken (see WakeAware). Legacy tickers without wake support stay in the
+// active set permanently and are polled for Busy every cycle, preserving
+// the original tick-everything semantics for them.
 type Engine struct {
 	cycle   uint64
 	seq     uint64
-	tickers []Ticker
+	entries []tickerEntry
+	// active holds the indices of active entries, sorted ascending so the
+	// tick order within the active set is registration order.
+	active []int
+	// legacy holds the indices of non-wake-aware tickers (a subset of
+	// active), polled for Busy each cycle.
+	legacy []int
+	// busyCount counts wake-aware entries whose last poll reported busy;
+	// with no legacy tickers the all-idle check is busyCount == 0.
+	busyCount int
+	// tickPos is the current index into active during the tick phase, or
+	// -1 outside it; activations during the phase use it to decide whether
+	// the woken ticker is still reachable this cycle.
+	tickPos int
 	modules []Module
 	events  eventQueue
 
@@ -139,7 +202,7 @@ type Engine struct {
 
 // New returns an empty engine at cycle 0.
 func New() *Engine {
-	return &Engine{}
+	return &Engine{tickPos: -1}
 }
 
 // Cycle returns the current simulated cycle.
@@ -165,9 +228,56 @@ func (e *Engine) AddModule(m Module) {
 // Register adds a cycle-accurate ticker (and records it in the inventory).
 // Tickers are ticked in registration order, so assemblies should register
 // upstream modules (schedulers) before downstream ones (caches, DRAM).
+//
+// A ticker implementing WakeAware gets its wake callback installed here and
+// enters the active set only while it has work; any other ticker is ticked
+// every simulated cycle, as the original engine did.
 func (e *Engine) Register(t Ticker) {
-	e.tickers = append(e.tickers, t)
+	idx := len(e.entries)
+	wa, wakeAware := t.(WakeAware)
+	e.entries = append(e.entries, tickerEntry{t: t, wakeAware: wakeAware})
 	e.modules = append(e.modules, t)
+	if wakeAware {
+		wa.SetWake(func() { e.activate(idx) })
+		// Start pending so the first simulated cycle ticks every module
+		// once, letting it publish its initial busy state.
+		e.activate(idx)
+	} else {
+		e.legacy = append(e.legacy, idx)
+		en := &e.entries[idx]
+		en.active = true
+		e.active = append(e.active, idx) // idx is the largest: stays sorted
+	}
+}
+
+// activate marks entry idx pending and inserts it into the active list. It
+// is idempotent and cheap when the ticker is already active. Activations
+// that land at or before the current tick position take effect next cycle
+// (the registration-order pass has already moved past them), matching the
+// legacy engine, where a module woken by a later-registered module's tick
+// saw the new state only on its next tick.
+func (e *Engine) activate(idx int) {
+	en := &e.entries[idx]
+	en.pending = true
+	if en.active {
+		return
+	}
+	en.active = true
+	pos := sort.SearchInts(e.active, idx)
+	e.active = append(e.active, 0)
+	copy(e.active[pos+1:], e.active[pos:])
+	e.active[pos] = idx
+	if e.tickPos >= 0 && pos <= e.tickPos {
+		e.tickPos++
+	}
+	// Poll Busy on insertion: a module woken at a position the current tick
+	// pass has already visited is only ticked next cycle, but it must gate
+	// fast-forwarding now — the legacy engine's post-pass Busy scan covered
+	// every ticker, active or not.
+	if en.t.Busy() && !en.busy {
+		en.busy = true
+		e.busyCount++
+	}
 }
 
 // ModuleInfo is one row of the engine's module inventory.
@@ -262,9 +372,7 @@ func (e *Engine) RunCtx(ctx context.Context, done func() bool, maxCycles uint64)
 			ev.fn()
 		}
 
-		for _, t := range e.tickers {
-			t.Tick(e.cycle)
-		}
+		e.tickActive()
 		e.tickedCycles++
 
 		if done() {
@@ -289,9 +397,49 @@ func (e *Engine) RunCtx(ctx context.Context, done func() bool, maxCycles uint64)
 	}
 }
 
+// tickActive ticks the active set in registration order. After each
+// wake-aware ticker's tick its Busy() is re-polled: a ticker that is idle
+// and not re-woken leaves the active set and is not touched again until a
+// wake. Activations occurring during the pass (a scheduler assigning work
+// to a downstream module, for instance) are ticked this same cycle when
+// their registration index has not been passed yet — the same visibility
+// the tick-everything engine provided.
+func (e *Engine) tickActive() {
+	for e.tickPos = 0; e.tickPos < len(e.active); {
+		idx := e.active[e.tickPos]
+		en := &e.entries[idx]
+		en.pending = false
+		en.t.Tick(e.cycle)
+		if en.wakeAware {
+			nowBusy := en.t.Busy()
+			if nowBusy != en.busy {
+				en.busy = nowBusy
+				if nowBusy {
+					e.busyCount++
+				} else {
+					e.busyCount--
+				}
+			}
+			if !nowBusy && !en.pending {
+				en.active = false
+				e.active = append(e.active[:e.tickPos], e.active[e.tickPos+1:]...)
+				continue
+			}
+		}
+		e.tickPos++
+	}
+	e.tickPos = -1
+}
+
+// anyBusy reports whether any ticker still has per-cycle work: an O(1)
+// counter check over the wake-aware modules, plus a Busy poll of the
+// legacy tickers (none in the standard assemblies).
 func (e *Engine) anyBusy() bool {
-	for _, t := range e.tickers {
-		if t.Busy() {
+	if e.busyCount > 0 {
+		return true
+	}
+	for _, idx := range e.legacy {
+		if e.entries[idx].t.Busy() {
 			return true
 		}
 	}

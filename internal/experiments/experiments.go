@@ -164,6 +164,10 @@ type Fig4Row struct {
 	Cycles [3]uint64
 	Err    [3]float64
 	Wall   [3]time.Duration
+	// ProfileWall is the portion of Wall spent extracting hit rates
+	// (non-zero only for Swift-Sim-Memory). Wall stays inclusive of it,
+	// matching the paper's end-to-end speedup accounting (§IV).
+	ProfileWall [3]time.Duration
 	// Speedups of Basic and Memory over Detailed (single thread).
 	SpeedupBasic  float64
 	SpeedupMemory float64
@@ -221,6 +225,7 @@ func Figure4(p Params) (*Fig4Result, error) {
 			row.Cycles[kind] = r.Cycles
 			row.Err[kind] = stats.RelError(float64(r.Cycles), float64(hw.Cycles))
 			row.Wall[kind] = r.Wall
+			row.ProfileWall[kind] = r.ProfileWall
 		}
 		if !ok {
 			continue

@@ -6,6 +6,8 @@
 // neighbours — the decoupling requirement of the paper's §III-B2.
 package mem
 
+import "sync"
+
 // Level identifies which level of the hierarchy serviced a request.
 type Level int
 
@@ -67,6 +69,28 @@ func (r *Request) Complete(lvl Level) {
 	if r.Done != nil {
 		r.Done()
 	}
+}
+
+// reqPool recycles Request structs on the L1/NoC/DRAM hot path, where the
+// detailed configurations allocate one per sector transaction. sync.Pool
+// keeps per-P free lists, so parallel sweeps (one assembly per goroutine)
+// do not contend.
+var reqPool = sync.Pool{New: func() any { return new(Request) }}
+
+// GetRequest returns a zeroed Request from the pool. Callers that know a
+// request's lifetime has ended return it with PutRequest; requests with
+// unclear ownership may simply be dropped for the garbage collector.
+func GetRequest() *Request {
+	return reqPool.Get().(*Request)
+}
+
+// PutRequest recycles r. The caller must guarantee no other module holds a
+// reference: the convention in this codebase is that the module that will
+// observe the completion last frees it — the creator inside its Done
+// callback when Done is set, or the completing consumer when Done is nil.
+func PutRequest(r *Request) {
+	*r = Request{}
+	reqPool.Put(r)
 }
 
 // Port accepts memory requests with backpressure: Accept returns false when

@@ -34,6 +34,7 @@ type entry struct {
 type Crossbar struct {
 	name     string
 	eng      *engine.Engine
+	wake     func() // engine activation callback (nil when standalone)
 	latency  uint64
 	perCycle int // requests per destination per cycle
 	targets  []mem.Port
@@ -78,6 +79,12 @@ func (x *Crossbar) Kind() engine.ModelKind { return engine.CycleAccurate }
 // Busy implements engine.Ticker.
 func (x *Crossbar) Busy() bool { return x.busyCnt > 0 }
 
+// SetWake implements engine.WakeAware: the crossbar is ticked only while
+// flits are in flight. Accept (forward path) and respond (return path,
+// reached from completion events while the crossbar may be idle) both
+// re-activate it.
+func (x *Crossbar) SetWake(wake func()) { x.wake = wake }
+
 // Accept implements mem.Port: requests enter the forward network.
 func (x *Crossbar) Accept(r *mem.Request) bool {
 	dst := x.mapAddr(r.Addr)
@@ -96,6 +103,9 @@ func (x *Crossbar) Accept(r *mem.Request) bool {
 	}
 	x.fwd[dst] = append(x.fwd[dst], e)
 	x.busyCnt++
+	if x.wake != nil {
+		x.wake()
+	}
 	return true
 }
 
@@ -106,6 +116,9 @@ func (x *Crossbar) respond(src int, r *mem.Request, done func()) {
 	// sinking); bandwidth is still bounded per cycle at drain time.
 	x.ret[src] = append(x.ret[src], entry{r: r, ready: x.eng.Cycle() + x.latency, done: done})
 	x.busyCnt++
+	if x.wake != nil {
+		x.wake()
+	}
 }
 
 // Tick implements engine.Ticker: move up to perCycle ready entries per

@@ -19,6 +19,7 @@ import (
 type Ring struct {
 	name       string
 	eng        *engine.Engine
+	wake       func() // engine activation callback (nil when standalone)
 	hopLatency uint64
 	nodes      int // ring positions (SM count + partition count)
 	bisection  int // messages accepted onto the ring per cycle
@@ -99,6 +100,12 @@ func (r *Ring) Kind() engine.ModelKind { return engine.CycleAccurate }
 // Busy implements engine.Ticker.
 func (r *Ring) Busy() bool { return r.busyCnt > 0 }
 
+// SetWake implements engine.WakeAware: the ring is ticked only while
+// messages are in flight. Any message since the last tick re-activates it,
+// so the per-tick bisection-budget reset still happens before the next
+// cycle's injections, exactly as when it was ticked unconditionally.
+func (r *Ring) SetWake(wake func()) { r.wake = wake }
+
 // Accept implements mem.Port: inject a request onto the ring, bounded by
 // queue capacity and the cycle's bisection budget.
 func (r *Ring) Accept(req *mem.Request) bool {
@@ -119,6 +126,9 @@ func (r *Ring) Accept(req *mem.Request) bool {
 	}
 	r.fwd[dst] = append(r.fwd[dst], e)
 	r.busyCnt++
+	if r.wake != nil {
+		r.wake()
+	}
 	return true
 }
 
@@ -126,6 +136,9 @@ func (r *Ring) respond(src, smID int, req *mem.Request, done func()) {
 	h := r.hops(r.partPos(src), r.smPos(smID))
 	r.ret[src] = append(r.ret[src], entry{r: req, ready: r.eng.Cycle() + uint64(h)*r.hopLatency, done: done})
 	r.busyCnt++
+	if r.wake != nil {
+		r.wake()
+	}
 }
 
 // Tick implements engine.Ticker: refresh the bisection budget, deliver

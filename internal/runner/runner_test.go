@@ -10,6 +10,7 @@ import (
 	"swiftsim/internal/config"
 	"swiftsim/internal/sim"
 	"swiftsim/internal/smcore"
+	"swiftsim/internal/trace"
 	"swiftsim/internal/workload"
 )
 
@@ -309,8 +310,12 @@ func TestSweepSurvivesOneBadTrace(t *testing.T) {
 		}
 		if i == badIdx {
 			// One thread's registers exceed the whole SM register file:
-			// no block of this kernel can ever be scheduled.
-			app.Kernels[0].RegsPerThread = gpu.SM.Registers
+			// no block of this kernel can ever be scheduled. Generated
+			// traces are memoized and shared, so mutate a clone.
+			bad := *app.Kernels[0]
+			bad.RegsPerThread = gpu.SM.Registers
+			kernels := append([]*trace.Kernel{&bad}, app.Kernels[1:]...)
+			app = &trace.App{Name: app.Name, Suite: app.Suite, Kernels: kernels}
 		}
 		jobs = append(jobs, Job{App: app, GPU: gpu, Opts: sim.Options{Kind: sim.Memory}})
 	}

@@ -118,8 +118,14 @@ type Result struct {
 	// Cycles is the predicted total execution time in GPU cycles.
 	Cycles uint64
 	// Wall is the host wall-clock time of the simulation (including
-	// hit-rate extraction for Swift-Sim-Memory).
+	// hit-rate extraction for Swift-Sim-Memory, as the paper's §IV
+	// methodology counts it).
 	Wall time.Duration
+	// ProfileWall is the portion of Wall spent extracting hit rates for
+	// Swift-Sim-Memory (zero for other Kinds, and near-zero when the
+	// profile came from the memoization cache). Reports can subtract it
+	// from Wall to separate modeling cost from simulation cost.
+	ProfileWall time.Duration
 	// Instructions is the number of warp instructions issued.
 	Instructions uint64
 	// KernelCycles records each kernel's (possibly extrapolated)
@@ -188,14 +194,13 @@ func RunCtx(ctx context.Context, app *trace.App, gpu config.GPU, opts Options) (
 	}
 
 	var prof *reuse.Profile
+	var profileWall time.Duration
 	if opts.Kind == Memory {
-		// Hit-rate extraction is part of Swift-Sim-Memory's cost.
-		switch opts.HitRates {
-		case ReuseDistance:
-			prof = reuse.ProfileAppReuseDistance(app, gpu)
-		default:
-			prof = reuse.ProfileApp(app, gpu)
-		}
+		// Hit-rate extraction is part of Swift-Sim-Memory's cost; it is
+		// memoized across runs of the same trace and geometry.
+		pStart := time.Now()
+		prof = profileCached(app, gpu, opts.HitRates)
+		profileWall = time.Since(pStart)
 	}
 
 	a, err := assemble(gpu, opts, prof)
@@ -245,6 +250,7 @@ func RunCtx(ctx context.Context, app *trace.App, gpu config.GPU, opts Options) (
 		Kind:          opts.Kind,
 		Cycles:        total,
 		Wall:          time.Since(start),
+		ProfileWall:   profileWall,
 		Instructions:  a.g.Value("sm.issued"),
 		KernelCycles:  kernelCycles,
 		Sampled:       sampled,
@@ -392,8 +398,17 @@ func assemble(gpu config.GPU, opts Options, prof *reuse.Profile) (*gpuAssembly, 
 			interconnect = noc.NewRing("noc", eng, gpu.NumSMs, targets, mapAddr,
 				uint64(hop), 2*gpu.MemPartitions, g)
 		} else {
+			// Per-destination throughput in sector-sized messages. Custom
+			// configs can make the quotient zero (flit narrower than a
+			// sector); clamp to 1 so the crossbar still drains. Validate()
+			// rejects non-positive NoCFlitBytes, but assemblies built from
+			// hand-rolled config.GPU values skip validation.
+			flitsPerSector := gpu.NoCFlitBytes / gpu.L1.SectorBytes
+			if flitsPerSector < 1 {
+				flitsPerSector = 1
+			}
 			interconnect = noc.NewCrossbar("noc", eng, targets, mapAddr,
-				uint64(scaleLat(gpu.NoCLatency, scale)), gpu.NoCFlitBytes/gpu.L1.SectorBytes, g)
+				uint64(scaleLat(gpu.NoCLatency, scale)), flitsPerSector, g)
 		}
 
 		l1cfg := gpu.L1

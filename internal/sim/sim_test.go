@@ -421,8 +421,11 @@ func TestUnschedulableKernelRejectedAtAssembly(t *testing.T) {
 	// engine deadlock (or warp-slot panic) deep inside the run; it must
 	// now be a clear validation error before simulation starts.
 	gpu := smallGPU()
-	app := mustApp(t, "BFS", 0.1)
-	app.Kernels[0].RegsPerThread = gpu.SM.Registers // one thread busts the file
+	// Generated traces are memoized and shared; clone before mutating.
+	shared := mustApp(t, "BFS", 0.1)
+	bad := *shared.Kernels[0]
+	bad.RegsPerThread = gpu.SM.Registers // one thread busts the file
+	app := &trace.App{Name: shared.Name, Suite: shared.Suite, Kernels: []*trace.Kernel{&bad}}
 	_, err := Run(app, gpu, Options{Kind: Basic})
 	if err == nil {
 		t.Fatal("unschedulable kernel accepted")

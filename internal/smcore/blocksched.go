@@ -12,6 +12,7 @@ import (
 // simulation cycles from here (paper §III-C).
 type BlockScheduler struct {
 	sms    []*SM
+	wake   func() // engine activation callback (nil when standalone)
 	kernel *trace.Kernel
 	next   int // next block to assign
 	done   int // completed blocks
@@ -39,7 +40,15 @@ func (bs *BlockScheduler) LaunchKernel(k *trace.Kernel) {
 	bs.next = 0
 	bs.done = 0
 	bs.kernelsRun.Inc()
+	if bs.wake != nil {
+		bs.wake() // distribute the new kernel's blocks at the next tick
+	}
 }
+
+// SetWake implements engine.WakeAware. The scheduler only has work right
+// after a kernel launch or a block completion, so it wakes itself at those
+// two points and otherwise stays out of the engine's active set.
+func (bs *BlockScheduler) SetWake(wake func()) { bs.wake = wake }
 
 // KernelDone reports whether every block of the current kernel completed
 // (or the kernel was aborted by an assignment error; check Err).
@@ -58,6 +67,9 @@ func (bs *BlockScheduler) Err() error { return bs.err }
 func (bs *BlockScheduler) BlockDone(*SM) {
 	bs.done++
 	bs.blocksTotal.Inc()
+	if bs.wake != nil {
+		bs.wake() // freed residency may admit further blocks
+	}
 }
 
 // Name implements engine.Module.

@@ -13,8 +13,14 @@ import (
 // model shares: the number of returned sectors is the instruction's
 // transaction count.
 func Coalesce(addrs []uint64, sectorBytes int) []uint64 {
+	return coalesceInto(make([]uint64, 0, 4), addrs, sectorBytes)
+}
+
+// coalesceInto is Coalesce appending into dst[:0]'s backing array, so the
+// LD/ST unit can reuse one buffer per pooled instruction.
+func coalesceInto(dst []uint64, addrs []uint64, sectorBytes int) []uint64 {
 	mask := ^uint64(sectorBytes - 1)
-	out := make([]uint64, 0, 4)
+	out := dst[:0]
 	for _, a := range addrs {
 		s := a & mask
 		dup := false
@@ -52,6 +58,7 @@ type ldstInst struct {
 	in      *trace.Inst
 	done    func()
 	sectors []uint64 // global sectors not yet accepted by the L1
+	buf     []uint64 // full coalesce buffer backing sectors, reused on recycle
 	waiting int      // accepted sectors whose responses are outstanding
 	smid    int
 }
@@ -72,6 +79,7 @@ type LDSTUnit struct {
 	queueCap    int
 
 	queue []*ldstInst
+	free  []*ldstInst // recycled instructions (engine runs single-threaded)
 
 	issued       *metrics.Counter
 	transactions *metrics.Counter
@@ -130,12 +138,18 @@ func (u *LDSTUnit) TryIssue(cycle uint64, in *trace.Inst, done func()) bool {
 		return true
 	}
 
-	li := &ldstInst{
-		in:      in,
-		done:    done,
-		sectors: Coalesce(in.Addrs, u.sectorBytes),
-		smid:    u.smid,
+	var li *ldstInst
+	if n := len(u.free); n > 0 {
+		li = u.free[n-1]
+		u.free = u.free[:n-1]
+	} else {
+		li = &ldstInst{}
 	}
+	li.in = in
+	li.done = done
+	li.sectors = coalesceInto(li.buf, in.Addrs, u.sectorBytes)
+	li.buf = li.sectors
+	li.smid = u.smid
 	u.transactions.Add(uint64(len(li.sectors)))
 	u.queue = append(u.queue, li)
 	return true
@@ -155,18 +169,20 @@ func (u *LDSTUnit) Tick(cycle uint64) {
 		sent := false
 		for budget > 0 && len(li.sectors) > 0 {
 			addr := li.sectors[0]
-			r := &mem.Request{
-				Addr:  addr,
-				Write: li.in.Op == trace.OpStoreGlobal,
-				Size:  u.sectorBytes,
-				PC:    li.in.PC,
-				SMID:  li.smid,
-			}
+			r := mem.GetRequest()
+			r.Addr = addr
+			r.Write = li.in.Op == trace.OpStoreGlobal
+			r.Size = u.sectorBytes
+			r.PC = li.in.PC
+			r.SMID = li.smid
 			li.waiting++
-			r.Done = func() { u.sectorDone(li) }
+			// The creator frees its request once the completion callback
+			// has run; nothing downstream holds it after that.
+			r.Done = func() { u.sectorDone(li); mem.PutRequest(r) }
 			if !u.l1.Accept(r) {
 				li.waiting--
 				u.portStall.Inc()
+				mem.PutRequest(r)
 				budget = 0
 				break
 			}
@@ -185,6 +201,13 @@ func (u *LDSTUnit) Tick(cycle uint64) {
 func (u *LDSTUnit) sectorDone(li *ldstInst) {
 	li.waiting--
 	if li.waiting == 0 && len(li.sectors) == 0 {
-		li.done()
+		done := li.done
+		// Every sector callback has fired: the instruction can be
+		// recycled. The coalesce buffer is kept for the next occupant.
+		li.in = nil
+		li.done = nil
+		li.sectors = nil
+		u.free = append(u.free, li)
+		done()
 	}
 }

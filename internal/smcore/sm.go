@@ -222,6 +222,11 @@ func (sc *subCore) dispatch(w *Warp, cycle uint64) bool {
 
 func (sc *subCore) completionFn(w *Warp, in *trace.Inst) func() {
 	return func() {
+		// A completing instruction may make the warp (or a sibling past a
+		// barrier) issuable: re-activate the SM so the next cycle ticks it.
+		if wake := sc.sm.wake; wake != nil {
+			wake()
+		}
 		w.sb.clear(in.Dst)
 		w.outstanding--
 		sc.maybeComplete(w)
@@ -280,6 +285,7 @@ type SM struct {
 	id        int
 	cfg       config.SM
 	eng       *engine.Engine
+	wake      func() // engine activation callback (nil when standalone)
 	subcores  []*subCore
 	unitList  []Unit // distinct units across all sub-cores
 	blocks    []*residentBlock
@@ -289,6 +295,13 @@ type SM struct {
 	usedWarps int
 	usedRegs  int
 	usedShmem int
+
+	// accounted is the number of engine iterations whose scheduler-stall
+	// contribution has been recorded, either by an actual Tick or by
+	// settle(). The engine skips ticking an idle SM; settle() reconstructs
+	// the stall counts those skipped ticks would have produced, keeping
+	// sm.stall bit-identical to the tick-everything engine.
+	accounted uint64
 
 	frontEnd bool
 
@@ -379,6 +392,33 @@ func (sm *SM) Name() string { return fmt.Sprintf("SM%d", sm.id) }
 // cycle-accurate in every Swift-Sim assembly in the paper.
 func (sm *SM) Kind() engine.ModelKind { return engine.CycleAccurate }
 
+// SetWake implements engine.WakeAware: the engine installs its activation
+// callback so the SM can leave the per-cycle tick set while idle and be
+// re-activated by completion events, block assignment, and barrier
+// releases.
+func (sm *SM) SetWake(wake func()) { sm.wake = wake }
+
+// settle records the scheduler stalls the skipped ticks since the last
+// accounting point would have produced. While the SM is out of the active
+// set no warp is issuable (wake-ups arrive only through events, which
+// re-activate it), so the tick-everything engine would have counted one
+// stall per sub-core per visited cycle whenever blocks were resident. It
+// must be called before anything changes len(sm.blocks) and at the start
+// of each Tick.
+func (sm *SM) settle() {
+	if sm.eng == nil {
+		return
+	}
+	now := sm.eng.TickedCycles()
+	if now <= sm.accounted {
+		return
+	}
+	if len(sm.blocks) > 0 {
+		sm.stalls.Add(uint64(len(sm.subcores)) * (now - sm.accounted))
+	}
+	sm.accounted = now
+}
+
 // Busy implements engine.Ticker: the SM needs per-cycle evaluation while
 // any warp could issue or any cycle-accurate unit holds in-flight work.
 // When every resident warp is blocked on outstanding results, the engine
@@ -412,6 +452,7 @@ func (sm *SM) computeBusy() bool {
 // Tick implements engine.Ticker: advance unit pipelines, then run one
 // scheduling round per sub-core scheduler.
 func (sm *SM) Tick(cycle uint64) {
+	sm.settle()
 	sm.lastCycle = cycle
 	for _, u := range sm.unitList {
 		u.Tick(cycle)
@@ -432,6 +473,11 @@ func (sm *SM) Tick(cycle uint64) {
 		}
 	}
 	sm.busyCache = sm.computeBusy()
+	if sm.eng != nil {
+		// This tick covers the engine iteration in progress (the engine
+		// counts it after the tick phase completes).
+		sm.accounted = sm.eng.TickedCycles() + 1
+	}
 }
 
 // blockCost returns the warp count, register and shared-memory footprint
@@ -483,6 +529,7 @@ func (sm *SM) CanAccept(k *trace.Kernel) bool {
 // An error means the SM's residency accounting disagreed with its warp-slot
 // state; the block is unwound and the SM left usable.
 func (sm *SM) AssignBlock(k *trace.Kernel, index int) error {
+	sm.settle() // stall accounting up to here used the old resident set
 	warps, regs, shmem := blockCost(sm.cfg, k)
 	rb := &residentBlock{sm: sm, index: index, liveWarps: warps, regs: regs, shmem: shmem}
 	bt := &k.Blocks[index]
@@ -512,11 +559,15 @@ func (sm *SM) AssignBlock(k *trace.Kernel, index int) error {
 	sm.usedShmem += shmem
 	sm.blocksRun.Inc()
 	sm.busyCache = true // newly resident warps have work
+	if sm.wake != nil {
+		sm.wake()
+	}
 	return nil
 }
 
 // blockDone releases a finished block's resources.
 func (sm *SM) blockDone(rb *residentBlock) {
+	sm.settle() // stall accounting up to here included rb
 	for i, b := range sm.blocks {
 		if b == rb {
 			sm.blocks = append(sm.blocks[:i], sm.blocks[i+1:]...)

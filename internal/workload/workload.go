@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"swiftsim/internal/trace"
 )
@@ -75,7 +76,33 @@ func ByName(name string) (Spec, bool) {
 	return Spec{}, false
 }
 
-// Generate builds the named application at the given scale.
+// Generators are deterministic in (name, scale), so Generate memoizes its
+// results: sweeps and the regression corpus build the same trace under many
+// simulator kinds and thread counts, and regeneration is pure recomputation.
+// Callers therefore share the returned *trace.App and must treat it as
+// immutable (the simulator already does — traces are read-only inputs).
+type genKey struct {
+	name  string
+	scale float64
+}
+
+// genEntry's once gives single-flight semantics: concurrent sweep workers
+// requesting the same application generate it exactly once.
+type genEntry struct {
+	once sync.Once
+	app  *trace.App
+}
+
+const genCacheCap = 64
+
+var (
+	genMu    sync.Mutex
+	genCache = make(map[genKey]*genEntry)
+	genOrder []genKey // FIFO eviction order
+)
+
+// Generate builds the named application at the given scale. The returned
+// trace is memoized and shared across callers; it must not be mutated.
 func Generate(name string, scale float64) (*trace.App, error) {
 	s, ok := ByName(name)
 	if !ok {
@@ -84,7 +111,22 @@ func Generate(name string, scale float64) (*trace.App, error) {
 	if scale <= 0 {
 		return nil, fmt.Errorf("workload: scale must be positive, got %v", scale)
 	}
-	return s.Generate(scale), nil
+	key := genKey{name: name, scale: scale}
+	genMu.Lock()
+	e, ok := genCache[key]
+	if !ok {
+		if len(genOrder) >= genCacheCap {
+			oldest := genOrder[0]
+			genOrder = genOrder[1:]
+			delete(genCache, oldest)
+		}
+		e = &genEntry{}
+		genCache[key] = e
+		genOrder = append(genOrder, key)
+	}
+	genMu.Unlock()
+	e.once.Do(func() { e.app = s.Generate(scale) })
+	return e.app, nil
 }
 
 // ---------------------------------------------------------------------------
