@@ -17,7 +17,7 @@ tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/runner/... ./internal/engine/...
+	$(GO) test -race ./internal/runner/... ./internal/engine/... ./internal/cache/... ./internal/noc/... ./internal/dram/... ./internal/obs/...
 
 # golden re-checks the committed 60-case fixture corpus only (fast drift
 # check without the rest of the suite).
@@ -42,7 +42,7 @@ bench-quick:
 # bench records the perf-gate benchmarks (the ones with a committed
 # baseline) with enough repetitions for stable medians. Writes bench.txt.
 BENCH_PKGS = . ./internal/engine/
-BENCH_FILTER = 'BenchmarkSimulatorThroughput|BenchmarkGoldenCorpus|BenchmarkEngineActiveSet'
+BENCH_FILTER = 'BenchmarkSimulatorThroughput|BenchmarkGoldenCorpus|BenchmarkEngineActiveSet|BenchmarkObsOff'
 bench:
 	$(GO) test -run '^$$' -bench $(BENCH_FILTER) -benchtime 2x -count 5 $(BENCH_PKGS) | tee bench.txt
 

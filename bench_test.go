@@ -222,6 +222,42 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkObsOff pins the observability off-path contract: with no
+// tracer, a full Detailed simulation — every obs hook compiled in, all of
+// them hitting the nil check — must match the untraced baseline. The
+// benchmark runs in the benchcmp gate, so an accidentally hot off path
+// (an allocation per request, a missed level check) regresses the gated
+// time. The alloc assertion makes the cheaper half of the contract exact:
+// the hook sequence itself must not allocate at all.
+func BenchmarkObsOff(b *testing.B) {
+	var tr *Tracer // the off path: Config.Trace left nil
+	allocs := testing.AllocsPerRun(1000, func() {
+		if tr.Enabled(TraceModule) {
+			b.Fatal("nil tracer reported enabled")
+		}
+		tr.Span(TraceRequest, "mem", "l1", 0, 0, 1)
+		tr.Counter(TraceModule, "active_sms", 0, 0, 1)
+		tr.Instant(TraceKernel, "job", "launch", 0, 0)
+	})
+	if allocs != 0 {
+		b.Fatalf("off-path trace hooks allocated %.1f times per run; want 0", allocs)
+	}
+	app, err := workload.Generate("BFS", 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gpu := benchGPU()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(app, gpu, sim.Options{Kind: sim.Detailed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "gpu-cycles")
+}
+
 // BenchmarkRunnerScaling measures sweep throughput as the worker count
 // grows — the paper's Figure 5 axis. The job list is a fixed mix of
 // applications and simulator kinds so each thread count does identical

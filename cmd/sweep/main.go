@@ -31,6 +31,7 @@ import (
 	"syscall"
 
 	"swiftsim/internal/experiments"
+	"swiftsim/internal/obs"
 )
 
 func main() {
@@ -49,6 +50,8 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	apps := fs.String("apps", "", "comma-separated application subset (default: all 20)")
 	threads := fs.Int("threads", 0, "parallel workers for fig5 (0 = NumCPU)")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none)")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file for the sweep")
+	traceLevel := fs.String("trace-level", "kernel", "trace detail: off|kernel|module|request")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
@@ -83,11 +86,39 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		}()
 	}
 
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		level, err := obs.ParseLevel(*traceLevel)
+		if err != nil {
+			fmt.Fprintf(stderr, "sweep: -trace-level: %v\n", err)
+			return 1
+		}
+		if level != obs.Off {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(stderr, "sweep: -trace-out: %v\n", err)
+				return 1
+			}
+			rec := obs.NewJSONStream(f)
+			// Close on every exit path — including exit code 2 (failed
+			// jobs, e.g. per-job timeouts) and Ctrl-C cancellation — so a
+			// truncated sweep still leaves a well-terminated, loadable
+			// trace file instead of an unparseable fragment.
+			defer func() {
+				if cerr := rec.Close(); cerr != nil {
+					fmt.Fprintf(stderr, "sweep: -trace-out: %v\n", cerr)
+				}
+			}()
+			tracer = obs.New(rec, level)
+		}
+	}
+
 	p := experiments.Params{
 		Scale:      *scale,
 		Threads:    *threads,
 		Ctx:        ctx,
 		JobTimeout: *jobTimeout,
+		Trace:      tracer,
 	}
 	if *apps != "" {
 		p.Apps = strings.Split(*apps, ",")

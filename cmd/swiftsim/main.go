@@ -55,6 +55,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	sample := fs.Float64("sample", 0, "block-sampling fraction in (0,1); 0 = full simulation")
 	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the simulation (0 = none)")
 	showMetrics := fs.Bool("metrics", false, "print the full Metrics Gatherer report")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file (load in chrome://tracing)")
+	traceLevel := fs.String("trace-level", "module", "trace detail: off|kernel|module|request")
+	traceCSV := fs.String("trace-csv", "", "write the per-kernel counter timeline as CSV")
+	traceStalls := fs.Bool("trace-stalls", false, "print the top stall reasons after the run")
 	list := fs.Bool("list", false, "list bundled workloads and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,6 +125,34 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown hit-rate source %q (want functional|reuse)", *hitSrc)
 	}
 
+	// Observability: assemble the requested trace sinks. The JSON stream
+	// writes as the simulation runs; the ring buffers events for the CSV
+	// and stall views. The recorder is closed on every exit path (deferred
+	// immediately after creation) so even a failed or interrupted run
+	// leaves a well-terminated, loadable JSON file.
+	level, err := swiftsim.ParseTraceLevel(*traceLevel)
+	if err != nil {
+		return err
+	}
+	var recs []swiftsim.TraceRecorder
+	var ring *swiftsim.TraceRing
+	if *traceOut != "" && level != swiftsim.TraceOff {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		recs = append(recs, swiftsim.NewTraceJSON(f))
+	}
+	if (*traceCSV != "" || *traceStalls) && level != swiftsim.TraceOff {
+		ring = swiftsim.NewTraceRing(0)
+		recs = append(recs, ring)
+	}
+	if len(recs) > 0 {
+		rec := swiftsim.TraceMulti(recs...)
+		defer rec.Close()
+		cfg.Trace = swiftsim.NewTracer(rec, level)
+	}
+
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -155,6 +187,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, "--- metrics ---")
 		if err := swiftsim.WriteMetricsReport(stdout, res); err != nil {
 			return err
+		}
+	}
+	if ring != nil {
+		if *traceCSV != "" {
+			f, err := os.Create(*traceCSV)
+			if err != nil {
+				return err
+			}
+			if err := swiftsim.WriteTraceCounterCSV(f, ring.Events()); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		if *traceStalls {
+			fmt.Fprintln(stdout, "--- stalls ---")
+			if err := swiftsim.WriteTraceStallSummary(stdout, ring.Events(), nil, 10); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

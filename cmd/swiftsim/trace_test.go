@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// readTraceJSON parses path as a Chrome trace-event array.
+func readTraceJSON(t *testing.T, path string) []map[string]any {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("%s is not a valid trace-event array: %v\n%s", path, err, data)
+	}
+	return events
+}
+
+// TestTraceOutModuleLevel is the CLI acceptance path: -trace-out at
+// module level on BFS produces a loadable Chrome trace with metadata,
+// span and counter events.
+func TestTraceOutModuleLevel(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.json")
+	code, _, stderr := runCmd(t, "-app", "BFS", "-scale", "0.1", "-sim", "detailed",
+		"-trace-out", out, "-trace-level", "module")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	events := readTraceJSON(t, out)
+	phases := map[string]bool{}
+	cats := map[string]bool{}
+	for _, ev := range events {
+		phases[ev["ph"].(string)] = true
+		if c, ok := ev["cat"].(string); ok {
+			cats[c] = true
+		}
+	}
+	for _, ph := range []string{"M", "X", "C"} {
+		if !phases[ph] {
+			t.Errorf("trace has no %q events", ph)
+		}
+	}
+	for _, cat := range []string{"kernel", "sm", "counter"} {
+		if !cats[cat] {
+			t.Errorf("trace has no cat=%q events", cat)
+		}
+	}
+}
+
+// TestTraceCSVAndStalls covers the two derived views: the counter
+// timeline CSV and the stdout stall summary.
+func TestTraceCSVAndStalls(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "t.csv")
+	code, out, stderr := runCmd(t, "-app", "BFS", "-scale", "0.1", "-sim", "detailed",
+		"-trace-csv", csv, "-trace-stalls")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(string(data), "\n", 2)[0]
+	for _, col := range []string{"kernel", "cycle", "active_sms", "dram_queue"} {
+		if !strings.Contains(header, col) {
+			t.Errorf("CSV header missing %q: %s", col, header)
+		}
+	}
+	if !strings.Contains(out, "stall reasons") {
+		t.Errorf("stdout missing the stall summary:\n%s", out)
+	}
+}
+
+// TestTraceLevelOffWritesNothing: the off level must leave no trace file
+// behind (and, per the goldens, must not perturb the simulation).
+func TestTraceLevelOffWritesNothing(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.json")
+	code, _, stderr := runCmd(t, "-app", "BFS", "-scale", "0.1", "-sim", "memory",
+		"-trace-out", out, "-trace-level", "off")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Errorf("-trace-level=off created %s", out)
+	}
+}
+
+// TestTraceBadLevelExitsOne: an unknown level is a usage error.
+func TestTraceBadLevelExitsOne(t *testing.T) {
+	code, _, stderr := runCmd(t, "-app", "BFS", "-scale", "0.1",
+		"-trace-out", filepath.Join(t.TempDir(), "t.json"), "-trace-level", "verbose")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "verbose") {
+		t.Errorf("stderr does not name the bad level:\n%s", stderr)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"swiftsim/internal/engine"
 	"swiftsim/internal/mem"
 	"swiftsim/internal/metrics"
+	"swiftsim/internal/obs"
 )
 
 // bankQueueDepth bounds each bank's input queue; Accept exerts
@@ -50,6 +51,23 @@ type Timed struct {
 	evictions            *metrics.Counter
 	writebacks           *metrics.Counter
 	writeAccesses        *metrics.Counter
+
+	// tracing. trOn caches tr.Enabled(RequestLevel); with tracing off the
+	// request path's only observability cost is this bool.
+	tr    *obs.Tracer
+	trTid int32
+	trOn  bool
+}
+
+// SetTracer installs the cache's tracer (nil for off) and registers its
+// trace track. Request lifecycle spans (accept → retire) are emitted at
+// RequestLevel, named for the hierarchy level that serviced the request.
+func (c *Timed) SetTracer(t *obs.Tracer) {
+	c.tr = t
+	c.trOn = t.Enabled(obs.RequestLevel)
+	if c.trOn {
+		c.trTid = t.RegisterTrack(c.name)
+	}
 }
 
 // NewTimed constructs a cycle-accurate cache named name (the metrics
@@ -105,6 +123,9 @@ func (c *Timed) Accept(r *mem.Request) bool {
 	}
 	c.banks[b] = append(c.banks[b], r)
 	c.inflight++
+	if c.trOn {
+		r.T0 = c.eng.Cycle()
+	}
 	if c.wake != nil {
 		c.wake()
 	}
@@ -272,6 +293,13 @@ func (c *Timed) installSector(addr uint64) {
 func (c *Timed) complete(r *mem.Request, lvl mem.Level) {
 	c.eng.Schedule(uint64(c.cfg.HitLatency), func() {
 		c.inflight--
+		if c.trOn {
+			// Emit before Complete: the creator's Done callback may recycle
+			// r, and a recycled request must not be read.
+			c.tr.Emit(obs.Event{Name: lvl.String(), Cat: "mem", Ph: obs.PhaseSpan,
+				Ts: r.T0, Dur: c.eng.Cycle() - r.T0, Tid: c.trTid,
+				Arg1Name: "addr", Arg1: r.Addr, Arg2Name: "sm", Arg2: uint64(r.SMID)})
+		}
 		// Decide ownership before Complete: a creator's Done callback may
 		// recycle r (zeroing Done), and checking afterwards would free it
 		// a second time.

@@ -9,6 +9,7 @@ import (
 	"swiftsim/internal/engine"
 	"swiftsim/internal/mem"
 	"swiftsim/internal/metrics"
+	"swiftsim/internal/obs"
 )
 
 const (
@@ -44,7 +45,26 @@ type Partition struct {
 	rowHits   *metrics.Counter
 	rowMisses *metrics.Counter
 	stalls    *metrics.Counter
+
+	tr    *obs.Tracer
+	trTid int32
+	trOn  bool
 }
+
+// SetTracer installs the partition's tracer (nil for off) and registers
+// its trace track. Request spans (accept → data return) are emitted at
+// RequestLevel with a row hit/miss argument.
+func (p *Partition) SetTracer(t *obs.Tracer) {
+	p.tr = t
+	p.trOn = t.Enabled(obs.RequestLevel)
+	if p.trOn {
+		p.trTid = t.RegisterTrack(p.name)
+	}
+}
+
+// QueueDepth returns the number of requests waiting in the partition's
+// queue — the DRAM column of the counter timeline.
+func (p *Partition) QueueDepth() int { return len(p.queue) }
 
 // New constructs a DRAM partition. latency and rowHitLatency are end-to-end
 // access latencies in core cycles.
@@ -92,6 +112,9 @@ func (p *Partition) Accept(r *mem.Request) bool {
 		return false
 	}
 	p.queue = append(p.queue, r)
+	if p.trOn {
+		r.T0 = p.eng.Cycle()
+	}
 	if p.wake != nil {
 		p.wake()
 	}
@@ -168,6 +191,17 @@ func (p *Partition) service(cycle uint64, r *mem.Request) {
 		p.reads.Inc()
 	}
 	p.eng.Schedule(lat, func() {
+		if p.trOn {
+			// Emit before Complete: the creator's Done callback may recycle
+			// the pooled request.
+			rowArg := uint64(0)
+			if hit {
+				rowArg = 1
+			}
+			p.tr.Emit(obs.Event{Name: "access", Cat: "dram", Ph: obs.PhaseSpan,
+				Ts: r.T0, Dur: p.eng.Cycle() - r.T0, Tid: p.trTid,
+				Arg1Name: "addr", Arg1: r.Addr, Arg2Name: "row_hit", Arg2: rowArg})
+		}
 		// Decide ownership before Complete: a creator's Done callback may
 		// recycle r (zeroing Done), and checking afterwards would free it
 		// a second time.

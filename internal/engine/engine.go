@@ -16,6 +16,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+
+	"swiftsim/internal/obs"
 )
 
 // ModelKind tells how a module is simulated.
@@ -198,6 +200,66 @@ type Engine struct {
 	tickedCycles  uint64
 	skippedCycles uint64
 	firedEvents   uint64
+
+	// tracing. traceOn caches tr.Enabled(ModuleLevel) so the run loop's
+	// per-iteration observability cost with tracing off is one bool test.
+	// Probes are sampled at visited cycles only — never via Schedule, which
+	// would wake the engine at sample cycles and change ticked/skipped
+	// counts (observation must not perturb simulation).
+	tr         *obs.Tracer
+	trTid      int32
+	traceOn    bool
+	probes     []probe
+	nextSample uint64
+	sampleIvl  uint64
+}
+
+// probe is a named read-only gauge sampled into the counter timeline.
+type probe struct {
+	name string
+	fn   func() uint64
+}
+
+// DefaultSampleInterval is how many visited cycles pass between counter
+// probe samples when tracing at ModuleLevel or above.
+const DefaultSampleInterval = 256
+
+// SetTracer installs the engine's tracer (nil turns tracing off). Call
+// before Run; the engine registers its own track and emits fast-forward
+// spans and probe samples at ModuleLevel.
+func (e *Engine) SetTracer(t *obs.Tracer) {
+	e.tr = t
+	e.traceOn = t.Enabled(obs.ModuleLevel)
+	if e.traceOn {
+		e.trTid = t.RegisterTrack("engine")
+		if e.sampleIvl == 0 {
+			e.sampleIvl = DefaultSampleInterval
+		}
+	}
+}
+
+// Tracer returns the engine's tracer (nil when tracing is off), so
+// modules wired to the same engine can share it.
+func (e *Engine) Tracer() *obs.Tracer { return e.tr }
+
+// AddProbe registers a gauge sampled into the trace's counter timeline
+// every DefaultSampleInterval visited cycles (at ModuleLevel). fn must be
+// a pure read of simulator state.
+func (e *Engine) AddProbe(name string, fn func() uint64) {
+	e.probes = append(e.probes, probe{name, fn})
+}
+
+// ActiveTickers returns the size of the active set — how many
+// cycle-accurate modules are currently being ticked.
+func (e *Engine) ActiveTickers() int { return len(e.active) }
+
+// sample emits one counter timeline row at the current cycle.
+func (e *Engine) sample() {
+	e.tr.Counter(obs.ModuleLevel, "active_tickers", e.trTid, e.cycle, uint64(len(e.active)))
+	for _, p := range e.probes {
+		e.tr.Counter(obs.ModuleLevel, p.name, e.trTid, e.cycle, p.fn())
+	}
+	e.nextSample = e.cycle + e.sampleIvl
 }
 
 // New returns an empty engine at cycle 0.
@@ -374,6 +436,9 @@ func (e *Engine) RunCtx(ctx context.Context, done func() bool, maxCycles uint64)
 
 		e.tickActive()
 		e.tickedCycles++
+		if e.traceOn && e.cycle >= e.nextSample {
+			e.sample()
+		}
 
 		if done() {
 			return e.cycle, nil
@@ -391,6 +456,9 @@ func (e *Engine) RunCtx(ctx context.Context, done func() bool, maxCycles uint64)
 		if next <= e.cycle {
 			e.cycle++
 		} else {
+			if e.traceOn {
+				e.tr.Span(obs.ModuleLevel, "engine", "fast-forward", e.trTid, e.cycle+1, next)
+			}
 			e.skippedCycles += next - e.cycle - 1
 			e.cycle = next
 		}

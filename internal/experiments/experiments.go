@@ -19,6 +19,7 @@ import (
 
 	"swiftsim/internal/config"
 	"swiftsim/internal/hwmodel"
+	"swiftsim/internal/obs"
 	"swiftsim/internal/runner"
 	"swiftsim/internal/sim"
 	"swiftsim/internal/stats"
@@ -46,6 +47,11 @@ type Params struct {
 	// job exceeding it is recorded as a Failure; the figure renders from
 	// the remaining jobs.
 	JobTimeout time.Duration
+	// Trace is the observability handle threaded into every simulation of
+	// the experiment (nil records nothing). Parallel phases derive per-job
+	// tracers from it; cmd/sweep owns the recorder behind it and must
+	// close it on every exit path so partial traces stay well-formed.
+	Trace *obs.Tracer
 }
 
 // Failure identifies one failed simulation within an experiment. Figures
@@ -81,6 +87,7 @@ func (p *Params) runSim(app *trace.App, gpu config.GPU, opts sim.Options) (*sim.
 		ctx, cancel = context.WithTimeout(ctx, p.JobTimeout)
 		defer cancel()
 	}
+	opts.Trace = p.Trace
 	return sim.RunCtx(ctx, app, gpu, opts)
 }
 
@@ -331,7 +338,7 @@ func Figure5(p Params) (*Fig5Result, error) {
 	// failures are recorded, not fatal).
 	suiteWall := func(kind sim.Kind, threads int) (time.Duration, error) {
 		start := time.Now()
-		outs := runner.Run(mkJobs(kind), threads, runner.Options{Ctx: p.Ctx, JobTimeout: p.JobTimeout})
+		outs := runner.Run(mkJobs(kind), threads, runner.Options{Ctx: p.Ctx, JobTimeout: p.JobTimeout, Trace: p.Trace})
 		for i, o := range outs {
 			if o.Err != nil {
 				res.Failed = append(res.Failed, Failure{

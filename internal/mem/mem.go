@@ -59,6 +59,13 @@ type Request struct {
 	// Done is invoked exactly once when the request completes. It may be
 	// nil (e.g. for write-through traffic nobody waits on).
 	Done func()
+	// T0 is the cycle the module that directly accepted this request took
+	// it, recorded only when request-level tracing is on so the module can
+	// emit a lifecycle span at completion. Each pooled Request is accepted
+	// by exactly one cache/DRAM level (downstream hops allocate fresh
+	// requests), so a single stamp suffices. Simulation behaviour never
+	// reads it.
+	T0 uint64
 }
 
 // Complete marks the request serviced by lvl and fires its callback.

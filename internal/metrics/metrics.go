@@ -30,6 +30,34 @@ func (c *Counter) Add(n uint64) { c.v += n }
 // Inc increases the counter by one.
 func (c *Counter) Inc() { c.v++ }
 
+// Window computes a windowed hit rate over a hit/miss counter pair: each
+// DeltaPermille call reports the rate of the traffic since the previous
+// call, not since the start of the run. The observability layer samples it
+// into the counter timeline, where a cumulative rate would flatten every
+// phase change out of view. It only reads the counters.
+type Window struct {
+	hits, misses       *Counter
+	lastHits, lastMiss uint64
+}
+
+// NewWindow returns a Window over the given hit/miss counters.
+func NewWindow(hits, misses *Counter) *Window {
+	return &Window{hits: hits, misses: misses}
+}
+
+// DeltaPermille returns the hit rate of the traffic since the last call in
+// per-mille (0..1000), and 1000 when the window saw no traffic (an idle
+// cache is not missing).
+func (w *Window) DeltaPermille() uint64 {
+	h, m := w.hits.Value(), w.misses.Value()
+	dh, dm := h-w.lastHits, m-w.lastMiss
+	w.lastHits, w.lastMiss = h, m
+	if dh+dm == 0 {
+		return 1000
+	}
+	return 1000 * dh / (dh + dm)
+}
+
 // Gatherer collects counters from all modules of a simulator instance.
 // The zero value is not usable; call New.
 type Gatherer struct {

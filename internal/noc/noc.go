@@ -15,6 +15,7 @@ import (
 	"swiftsim/internal/engine"
 	"swiftsim/internal/mem"
 	"swiftsim/internal/metrics"
+	"swiftsim/internal/obs"
 )
 
 // queueCap bounds each per-destination queue; Accept exerts backpressure
@@ -25,6 +26,7 @@ type entry struct {
 	r     *mem.Request
 	ready uint64 // cycle at which the traversal latency has elapsed
 	done  func() // original completion callback (responses only)
+	enq   uint64 // enqueue cycle, stamped only while tracing at RequestLevel
 }
 
 // Crossbar is a cycle-accurate SM↔partition crossbar. One instance handles
@@ -46,7 +48,26 @@ type Crossbar struct {
 	requests *metrics.Counter
 	stalls   *metrics.Counter
 	busyCnt  int
+
+	tr    *obs.Tracer
+	trTid int32
+	trOn  bool
 }
+
+// SetTracer installs the crossbar's tracer (nil for off) and registers
+// its trace track. Traversal spans (enqueue → delivery) are emitted at
+// RequestLevel for both network directions.
+func (x *Crossbar) SetTracer(t *obs.Tracer) {
+	x.tr = t
+	x.trOn = t.Enabled(obs.RequestLevel)
+	if x.trOn {
+		x.trTid = t.RegisterTrack(x.name)
+	}
+}
+
+// Occupancy returns the number of messages currently in flight on the
+// network (both directions) — the NoC column of the counter timeline.
+func (x *Crossbar) Occupancy() int { return x.busyCnt }
 
 // NewCrossbar builds a crossbar delivering to targets (one port per memory
 // partition). mapAddr maps a sector address to its partition index; latency
@@ -94,6 +115,9 @@ func (x *Crossbar) Accept(r *mem.Request) bool {
 	}
 	x.requests.Inc()
 	e := entry{r: r, ready: x.eng.Cycle() + x.latency}
+	if x.trOn {
+		e.enq = x.eng.Cycle()
+	}
 	if r.Done != nil {
 		// Interpose on the response path: when the memory side
 		// completes the request, it travels back through the return
@@ -114,7 +138,11 @@ func (x *Crossbar) respond(src int, r *mem.Request, done func()) {
 	// The return queue is not backpressured toward the L2 (responses in
 	// real hardware use a separate virtual network with guaranteed
 	// sinking); bandwidth is still bounded per cycle at drain time.
-	x.ret[src] = append(x.ret[src], entry{r: r, ready: x.eng.Cycle() + x.latency, done: done})
+	e := entry{r: r, ready: x.eng.Cycle() + x.latency, done: done}
+	if x.trOn {
+		e.enq = x.eng.Cycle()
+	}
+	x.ret[src] = append(x.ret[src], e)
 	x.busyCnt++
 	if x.wake != nil {
 		x.wake()
@@ -135,6 +163,9 @@ func (x *Crossbar) Tick(cycle uint64) {
 				x.stalls.Inc()
 				break
 			}
+			if x.trOn {
+				x.emitSpan("fwd", &head, cycle)
+			}
 			x.fwd[dst] = x.fwd[dst][1:]
 			x.busyCnt--
 		}
@@ -147,7 +178,18 @@ func (x *Crossbar) Tick(cycle uint64) {
 			}
 			x.ret[src] = x.ret[src][1:]
 			x.busyCnt--
+			if x.trOn {
+				// Emit before done(): the completion chain may recycle the
+				// pooled request.
+				x.emitSpan("ret", &head, cycle)
+			}
 			head.done()
 		}
 	}
+}
+
+func (x *Crossbar) emitSpan(dir string, e *entry, cycle uint64) {
+	x.tr.Emit(obs.Event{Name: dir, Cat: "noc", Ph: obs.PhaseSpan,
+		Ts: e.enq, Dur: cycle - e.enq, Tid: x.trTid,
+		Arg1Name: "addr", Arg1: e.r.Addr})
 }

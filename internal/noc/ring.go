@@ -4,6 +4,7 @@ import (
 	"swiftsim/internal/engine"
 	"swiftsim/internal/mem"
 	"swiftsim/internal/metrics"
+	"swiftsim/internal/obs"
 )
 
 // Ring is an alternative cycle-accurate interconnect: SMs and memory
@@ -36,7 +37,25 @@ type Ring struct {
 	hopsAcc  *metrics.Counter
 	busyCnt  int
 	injected int // messages injected this cycle (bisection budget)
+
+	tr    *obs.Tracer
+	trTid int32
+	trOn  bool
 }
+
+// SetTracer installs the ring's tracer (nil for off) and registers its
+// trace track; traversal spans are emitted at RequestLevel.
+func (r *Ring) SetTracer(t *obs.Tracer) {
+	r.tr = t
+	r.trOn = t.Enabled(obs.RequestLevel)
+	if r.trOn {
+		r.trTid = t.RegisterTrack(r.name)
+	}
+}
+
+// Occupancy returns the number of messages currently in flight on the
+// ring (both directions).
+func (r *Ring) Occupancy() int { return r.busyCnt }
 
 // NewRing builds a ring over numSMs SM nodes and the target partitions,
 // interleaved evenly around the ring. mapAddr maps sector addresses to
@@ -119,6 +138,9 @@ func (r *Ring) Accept(req *mem.Request) bool {
 	r.hopsAcc.Add(uint64(h))
 	r.requests.Inc()
 	e := entry{r: req, ready: r.eng.Cycle() + uint64(h)*r.hopLatency}
+	if r.trOn {
+		e.enq = r.eng.Cycle()
+	}
 	if req.Done != nil {
 		orig := req.Done
 		smID := req.SMID
@@ -134,7 +156,11 @@ func (r *Ring) Accept(req *mem.Request) bool {
 
 func (r *Ring) respond(src, smID int, req *mem.Request, done func()) {
 	h := r.hops(r.partPos(src), r.smPos(smID))
-	r.ret[src] = append(r.ret[src], entry{r: req, ready: r.eng.Cycle() + uint64(h)*r.hopLatency, done: done})
+	e := entry{r: req, ready: r.eng.Cycle() + uint64(h)*r.hopLatency, done: done}
+	if r.trOn {
+		e.enq = r.eng.Cycle()
+	}
+	r.ret[src] = append(r.ret[src], e)
 	r.busyCnt++
 	if r.wake != nil {
 		r.wake()
@@ -155,6 +181,9 @@ func (r *Ring) Tick(cycle uint64) {
 				r.stalls.Inc()
 				break
 			}
+			if r.trOn {
+				r.emitSpan("fwd", &head, cycle)
+			}
 			r.fwd[dst] = r.fwd[dst][1:]
 			r.busyCnt--
 		}
@@ -170,6 +199,17 @@ func (r *Ring) Tick(cycle uint64) {
 		}
 		r.ret[src] = r.ret[src][1:]
 		r.busyCnt--
+		if r.trOn {
+			// Emit before done(): the completion chain may recycle the
+			// pooled request.
+			r.emitSpan("ret", &head, cycle)
+		}
 		head.done()
 	}
+}
+
+func (r *Ring) emitSpan(dir string, e *entry, cycle uint64) {
+	r.tr.Emit(obs.Event{Name: dir, Cat: "noc", Ph: obs.PhaseSpan,
+		Ts: e.enq, Dur: cycle - e.enq, Tid: r.trTid,
+		Arg1Name: "addr", Arg1: e.r.Addr})
 }

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// JSONStream is a streaming Recorder writing Chrome trace-event JSON (the
+// "JSON array format" chrome://tracing and Perfetto load) as events
+// arrive, so a killed or timed-out run still leaves everything recorded up
+// to the cut on disk. Close writes the closing bracket — callers must
+// Close (idempotently) on every exit path to get well-terminated JSON; see
+// cmd/sweep. It is safe for concurrent use.
+type JSONStream struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	closer io.Closer // closes the underlying file, if any
+	opened bool      // '[' written
+	first  bool      // next event is the first (no leading comma)
+	closed bool
+	err    error
+}
+
+// NewJSONStream returns a JSONStream writing to w. If w is an io.Closer
+// (a file), Close closes it after terminating the array.
+func NewJSONStream(w io.Writer) *JSONStream {
+	s := &JSONStream{w: bufio.NewWriterSize(w, 1<<16), first: true}
+	if c, ok := w.(io.Closer); ok {
+		s.closer = c
+	}
+	return s
+}
+
+// Record implements Recorder. Encoding is hand-rolled: the event schema is
+// fixed and flat, and strconv.AppendX into the bufio buffer avoids
+// encoding/json's reflection on what can be a very hot path at
+// RequestLevel.
+func (s *JSONStream) Record(ev *Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.err != nil {
+		return
+	}
+	if !s.opened {
+		s.opened = true
+		s.w.WriteString("[\n")
+	}
+	if s.first {
+		s.first = false
+	} else {
+		s.w.WriteString(",\n")
+	}
+	s.writeEvent(ev)
+}
+
+// Flush implements Recorder.
+func (s *JSONStream) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if s.closed {
+		return nil
+	}
+	s.err = s.w.Flush()
+	return s.err
+}
+
+// Close implements Recorder: it terminates the JSON array (writing "[]"
+// if no event was ever recorded), flushes, and closes the underlying file
+// if there is one. Close is idempotent.
+func (s *JSONStream) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
+	if !s.opened {
+		s.w.WriteString("[")
+	}
+	s.w.WriteString("\n]\n")
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	if s.closer != nil {
+		if err := s.closer.Close(); err != nil && s.err == nil {
+			s.err = err
+		}
+	}
+	return s.err
+}
+
+// writeEvent encodes one event. Caller holds s.mu.
+func (s *JSONStream) writeEvent(ev *Event) {
+	w := s.w
+	var num [20]byte
+	writeU := func(v uint64) { w.Write(strconv.AppendUint(num[:0], v, 10)) }
+	writeI := func(v int64) { w.Write(strconv.AppendInt(num[:0], v, 10)) }
+
+	// For metadata events the trace format puts the metadata *kind*
+	// ("thread_name") in the top-level name and the label in args.name;
+	// Event stores the kind in Cat and the label in Name, so swap here.
+	name := ev.Name
+	if ev.Ph == PhaseMeta {
+		name = ev.Cat
+	}
+	w.WriteString(`{"name":`)
+	writeJSONString(w, name)
+	w.WriteString(`,"ph":"`)
+	w.WriteByte(ev.Ph)
+	w.WriteString(`","pid":`)
+	writeI(int64(ev.Pid))
+	w.WriteString(`,"tid":`)
+	writeI(int64(ev.Tid))
+	switch ev.Ph {
+	case PhaseMeta:
+		w.WriteString(`,"args":{"name":`)
+		writeJSONString(w, ev.Name)
+		w.WriteString(`}}`)
+		return
+	case PhaseCounter:
+		w.WriteString(`,"cat":`)
+		writeJSONString(w, ev.Cat)
+		w.WriteString(`,"ts":`)
+		writeU(ev.Ts)
+		w.WriteString(`,"args":{`)
+		writeJSONString(w, ev.Arg1Name)
+		w.WriteString(`:`)
+		writeU(ev.Arg1)
+		w.WriteString(`}}`)
+		return
+	}
+	w.WriteString(`,"cat":`)
+	writeJSONString(w, ev.Cat)
+	w.WriteString(`,"ts":`)
+	writeU(ev.Ts)
+	if ev.Ph == PhaseSpan {
+		w.WriteString(`,"dur":`)
+		writeU(ev.Dur)
+	}
+	if ev.Ph == PhaseInstant {
+		w.WriteString(`,"s":"t"`)
+	}
+	if ev.Arg1Name != "" {
+		w.WriteString(`,"args":{`)
+		writeJSONString(w, ev.Arg1Name)
+		w.WriteString(`:`)
+		writeU(ev.Arg1)
+		if ev.Arg2Name != "" {
+			w.WriteString(`,`)
+			writeJSONString(w, ev.Arg2Name)
+			w.WriteString(`:`)
+			writeU(ev.Arg2)
+		}
+		w.WriteString(`}`)
+	}
+	w.WriteString(`}`)
+}
+
+// writeJSONString writes s as a JSON string. Event names and categories
+// are simulator-chosen identifiers (module names, stall reasons), so the
+// escape path is cold but still correct for arbitrary input.
+func writeJSONString(w *bufio.Writer, s string) {
+	w.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			w.WriteByte('\\')
+			w.WriteByte(c)
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			w.WriteString(`\u00`)
+			w.WriteByte(hex[c>>4])
+			w.WriteByte(hex[c&0xf])
+		default:
+			w.WriteByte(c)
+		}
+	}
+	w.WriteByte('"')
+}

@@ -1,0 +1,315 @@
+// Package obs is Swift-Sim's observability layer: structured simulation
+// event tracing with a near-zero cost when disabled.
+//
+// The whole point of a hybrid simulator is explaining *where* cycles go;
+// end-of-run aggregates cannot show a kernel's timeline or attribute a
+// stall to the SM vs the NoC vs DRAM. This package records typed events —
+// spans, instants, counter samples — from every module behind one small
+// interface, and exports three views of the recording:
+//
+//   - Chrome trace-event JSON (chrome://tracing / Perfetto), one track per
+//     module instance (WriteChromeTrace / the streaming JSONStream sink);
+//   - a per-kernel counter-timeline CSV, cycles × {active SMs, L1/L2
+//     hit-rate window, NoC occupancy, DRAM queue depth, ...}
+//     (WriteCounterCSV);
+//   - a plain-text top-N stall summary (WriteStallSummary).
+//
+// # The off-path zero-cost contract
+//
+// Modules hold a *Tracer, which is nil (or below the requested Level) when
+// tracing is off. Every hook site is guarded by Tracer.Enabled — a nil
+// check plus an integer compare, with no allocation and no stores — so the
+// request hot path and the golden metrics are bit-identical whether the
+// build traces or not. Observation must never perturb simulation: tracing
+// code only *reads* simulator state and writes to its own buffers (see the
+// regression oracle in internal/regress).
+//
+// # Concurrency
+//
+// One simulation is single-threaded, but parallel sweeps (internal/runner)
+// run many simulations at once, all emitting into one Recorder. Recorder
+// implementations are therefore safe for concurrent use; Tracer itself is
+// confined to one simulation (the runner derives a per-job Tracer with
+// WithPid).
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Level selects how much detail is recorded. Levels are cumulative: each
+// level includes everything below it.
+type Level uint8
+
+const (
+	// Off records nothing; every hook site reduces to a nil/level check.
+	Off Level = iota
+	// KernelLevel records per-kernel and per-job spans.
+	KernelLevel
+	// ModuleLevel adds per-module activity: block launch/retire spans,
+	// engine fast-forward spans, warp stall-reason accounting, and the
+	// periodic counter timeline.
+	ModuleLevel
+	// RequestLevel adds the lifecycle span of every memory request through
+	// the L1, NoC, L2 and DRAM — the most detailed (and most voluminous)
+	// view.
+	RequestLevel
+)
+
+// String returns the flag spelling of l.
+func (l Level) String() string {
+	switch l {
+	case Off:
+		return "off"
+	case KernelLevel:
+		return "kernel"
+	case ModuleLevel:
+		return "module"
+	case RequestLevel:
+		return "request"
+	default:
+		return fmt.Sprintf("Level(%d)", uint8(l))
+	}
+}
+
+// ParseLevel parses the -trace-level flag spelling.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "off", "":
+		return Off, nil
+	case "kernel":
+		return KernelLevel, nil
+	case "module":
+		return ModuleLevel, nil
+	case "request":
+		return RequestLevel, nil
+	default:
+		return Off, fmt.Errorf("obs: unknown trace level %q (want off|kernel|module|request)", s)
+	}
+}
+
+// Chrome trace-event phases used by this package. Any other byte is
+// rejected by the JSON writer.
+const (
+	// PhaseSpan is a complete event ('X'): Ts..Ts+Dur.
+	PhaseSpan = byte('X')
+	// PhaseInstant is a point event ('i').
+	PhaseInstant = byte('i')
+	// PhaseCounter is a counter sample ('C'): Arg1 holds the value.
+	PhaseCounter = byte('C')
+	// PhaseMeta is a metadata event ('M'): Cat names the metadata kind
+	// ("thread_name", "process_name") and Name carries the label.
+	PhaseMeta = byte('M')
+)
+
+// Event is one trace record. Timestamps and durations are in simulated
+// cycles for simulation events, and in wall-clock microseconds for the
+// runner's per-job spans (pid 0); the two never share a track.
+//
+// Args are at most two named integers — enough for an address, a level, a
+// count — so recording an event never allocates a map.
+type Event struct {
+	// Name labels the event (slice text in the trace viewer).
+	Name string
+	// Cat is the event category ("engine", "sm", "kernel", "counter",
+	// "stall", a module name, ...). For PhaseMeta it is the metadata kind.
+	Cat string
+	// Ph is the Chrome trace phase: one of the Phase* constants.
+	Ph byte
+	// Ts is the event timestamp; Dur the duration for PhaseSpan.
+	Ts  uint64
+	Dur uint64
+	// Pid and Tid place the event on a (process, thread) track. Pid is the
+	// simulation/job id; Tid the module track within it.
+	Pid int32
+	Tid int32
+	// Arg1Name/Arg1 and Arg2Name/Arg2 are optional numeric arguments; an
+	// empty name means the argument is absent.
+	Arg1Name string
+	Arg1     uint64
+	Arg2Name string
+	Arg2     uint64
+}
+
+// Recorder is the sink events are recorded into. Implementations must be
+// safe for concurrent use by parallel simulations.
+//
+// Record copies the event; the pointer is only borrowed for the call.
+// Flush forces buffered data out (streaming sinks); Close additionally
+// terminates the output so that what was written so far is well-formed,
+// and is idempotent. A truncated run that still Closes its recorder
+// produces a loadable trace — the fault-tolerance contract cmd/sweep
+// relies on.
+type Recorder interface {
+	Record(ev *Event)
+	Flush() error
+	Close() error
+}
+
+// Nop is the discard Recorder.
+type Nop struct{}
+
+// Record implements Recorder.
+func (Nop) Record(*Event) {}
+
+// Flush implements Recorder.
+func (Nop) Flush() error { return nil }
+
+// Close implements Recorder.
+func (Nop) Close() error { return nil }
+
+// multi fans one event stream out to several recorders.
+type multi struct{ recs []Recorder }
+
+// Multi returns a Recorder duplicating every event to all of recs (e.g. a
+// streaming JSON file plus an in-memory ring for the CSV/stall views).
+func Multi(recs ...Recorder) Recorder {
+	if len(recs) == 1 {
+		return recs[0]
+	}
+	return &multi{recs: recs}
+}
+
+// Record implements Recorder.
+func (m *multi) Record(ev *Event) {
+	for _, r := range m.recs {
+		r.Record(ev)
+	}
+}
+
+// Flush implements Recorder.
+func (m *multi) Flush() error {
+	var first error
+	for _, r := range m.recs {
+		if err := r.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close implements Recorder.
+func (m *multi) Close() error {
+	var first error
+	for _, r := range m.recs {
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Tracer is the handle modules emit through: a Recorder plus the recording
+// Level and the process id of this simulation. A nil *Tracer is the "off"
+// tracer — every method is nil-safe, and the Enabled guard modules use is
+// a single nil/level check.
+//
+// A Tracer is confined to one simulation (one goroutine); only the
+// Recorder behind it is shared.
+type Tracer struct {
+	rec   Recorder
+	level Level
+	pid   int32
+	tids  int32 // next module track id
+}
+
+// New returns a Tracer recording into rec at the given level, or nil (the
+// off tracer) when rec is nil or level is Off.
+func New(rec Recorder, level Level) *Tracer {
+	if rec == nil || level == Off {
+		return nil
+	}
+	return &Tracer{rec: rec, level: level}
+}
+
+// WithPid derives a Tracer for another simulation sharing the same
+// Recorder and Level but with its own pid and track-id space. It is safe
+// to call concurrently on the same parent (only immutable fields are
+// read); the runner uses it to give each parallel job its own process row.
+func (t *Tracer) WithPid(pid int) *Tracer {
+	if t == nil {
+		return nil
+	}
+	return &Tracer{rec: t.rec, level: t.level, pid: int32(pid)}
+}
+
+// Enabled reports whether events at level l are recorded. It is the hook
+// guard of the zero-cost contract: nil receiver or lower level short-
+// circuits to false with no allocation.
+func (t *Tracer) Enabled(l Level) bool { return t != nil && t.level >= l }
+
+// Level returns the recording level (Off for the nil tracer).
+func (t *Tracer) Level() Level {
+	if t == nil {
+		return Off
+	}
+	return t.level
+}
+
+// Pid returns the tracer's process id.
+func (t *Tracer) Pid() int32 {
+	if t == nil {
+		return 0
+	}
+	return t.pid
+}
+
+// Emit records ev verbatim after stamping the tracer's pid. Callers are
+// expected to have checked Enabled for their level first.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	ev.Pid = t.pid
+	t.rec.Record(&ev)
+}
+
+// RegisterTrack allocates the next module track id and emits the Chrome
+// "thread_name" metadata naming it. The nil tracer returns 0.
+func (t *Tracer) RegisterTrack(name string) int32 {
+	if t == nil {
+		return 0
+	}
+	t.tids++
+	tid := t.tids
+	t.Emit(Event{Name: name, Cat: "thread_name", Ph: PhaseMeta, Tid: tid})
+	return tid
+}
+
+// NameProcess emits the Chrome "process_name" metadata labeling this
+// tracer's pid (the runner labels each job's row with its application).
+func (t *Tracer) NameProcess(name string) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Name: name, Cat: "process_name", Ph: PhaseMeta})
+}
+
+// Span records a complete event covering cycles [start, end] on track tid
+// if level l is enabled.
+func (t *Tracer) Span(l Level, cat, name string, tid int32, start, end uint64) {
+	if !t.Enabled(l) {
+		return
+	}
+	t.Emit(Event{Name: name, Cat: cat, Ph: PhaseSpan, Ts: start, Dur: end - start, Tid: tid})
+}
+
+// Instant records a point event at cycle ts on track tid if level l is
+// enabled.
+func (t *Tracer) Instant(l Level, cat, name string, tid int32, ts uint64) {
+	if !t.Enabled(l) {
+		return
+	}
+	t.Emit(Event{Name: name, Cat: cat, Ph: PhaseInstant, Ts: ts, Tid: tid})
+}
+
+// Counter records a counter sample (name=value at cycle ts) if level l is
+// enabled. Counter events carry Cat "counter" and feed the timeline CSV.
+func (t *Tracer) Counter(l Level, name string, tid int32, ts, value uint64) {
+	if !t.Enabled(l) {
+		return
+	}
+	t.Emit(Event{Name: name, Cat: "counter", Ph: PhaseCounter, Ts: ts, Tid: tid,
+		Arg1Name: "value", Arg1: value})
+}

@@ -1,0 +1,84 @@
+package obs
+
+import "sync"
+
+// DefaultRingCap is the default capacity of an in-memory Ring recorder:
+// large enough for a module-level trace of a full golden-corpus app,
+// small enough (~48 MiB of Events) to be a safe always-on buffer.
+const DefaultRingCap = 1 << 18
+
+// Ring is a bounded in-memory Recorder. When full it overwrites the
+// oldest events (keeping the most recent window) and counts the drops, so
+// a runaway request-level trace degrades gracefully instead of exhausting
+// memory. It is safe for concurrent use.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int // next write index
+	full    bool
+	dropped uint64
+}
+
+// NewRing returns a Ring holding at most capacity events (DefaultRingCap
+// if capacity <= 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCap
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Record implements Recorder.
+func (r *Ring) Record(ev *Event) {
+	r.mu.Lock()
+	if r.full {
+		r.dropped++
+	}
+	r.buf[r.next] = *ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Flush implements Recorder (no-op: the ring is already in memory).
+func (r *Ring) Flush() error { return nil }
+
+// Close implements Recorder (no-op; the events stay readable).
+func (r *Ring) Close() error { return nil }
+
+// Len returns the number of events currently held.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Dropped returns how many events were overwritten because the ring was
+// full.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Events returns a copy of the recorded events in arrival order (oldest
+// surviving event first).
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

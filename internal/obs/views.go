@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteChromeTrace writes events as Chrome trace-event JSON (same format
+// as the streaming JSONStream sink, but from an in-memory recording such
+// as Ring.Events).
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	s := NewJSONStream(nopWriteCloser{w})
+	for i := range events {
+		s.Record(&events[i])
+	}
+	return s.Close()
+}
+
+// nopWriteCloser keeps JSONStream.Close from closing a writer the caller
+// still owns.
+type nopWriteCloser struct{ io.Writer }
+
+// WriteCounterCSV pivots the counter events (PhaseCounter) in events into
+// a per-kernel timeline CSV: one row per sample cycle, one column per
+// counter name, with the kernel column derived from the cat="kernel" spans
+// covering that cycle. Counter names become columns in first-appearance
+// order. Multi-simulation recordings get a leading pid column.
+func WriteCounterCSV(w io.Writer, events []Event) error {
+	type key struct {
+		pid int32
+		ts  uint64
+	}
+	var (
+		cols   []string
+		colIdx = map[string]int{}
+		rows   = map[key][]uint64{}
+		keys   []key
+		pids   = map[int32]bool{}
+	)
+	type span struct{ start, end uint64 }
+	kernels := map[int32]map[string][]span{} // pid -> kernel name -> spans
+	for i := range events {
+		ev := &events[i]
+		switch {
+		case ev.Ph == PhaseCounter:
+			if ev.Cat == "stall" {
+				// Stall-reason totals are end-of-run aggregates (the SMs'
+				// FlushTrace), not timeline samples; they belong to the
+				// stall summary, not the counter CSV.
+				continue
+			}
+			pids[ev.Pid] = true
+			ci, ok := colIdx[ev.Name]
+			if !ok {
+				ci = len(cols)
+				colIdx[ev.Name] = ci
+				cols = append(cols, ev.Name)
+			}
+			k := key{ev.Pid, ev.Ts}
+			row, ok := rows[k]
+			if !ok {
+				keys = append(keys, k)
+			}
+			for len(row) <= ci {
+				row = append(row, 0)
+			}
+			row[ci] = ev.Arg1
+			rows[k] = row
+		case ev.Ph == PhaseSpan && ev.Cat == "kernel":
+			m := kernels[ev.Pid]
+			if m == nil {
+				m = map[string][]span{}
+				kernels[ev.Pid] = m
+			}
+			m[ev.Name] = append(m[ev.Name], span{ev.Ts, ev.Ts + ev.Dur})
+		}
+	}
+	if len(cols) == 0 {
+		_, err := fmt.Fprintln(w, "kernel,cycle")
+		return err
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pid != keys[j].pid {
+			return keys[i].pid < keys[j].pid
+		}
+		return keys[i].ts < keys[j].ts
+	})
+	kernelAt := func(pid int32, ts uint64) string {
+		for name, spans := range kernels[pid] {
+			for _, s := range spans {
+				if ts >= s.start && ts <= s.end {
+					return name
+				}
+			}
+		}
+		return ""
+	}
+
+	multi := len(pids) > 1
+	var b strings.Builder
+	if multi {
+		b.WriteString("pid,")
+	}
+	b.WriteString("kernel,cycle")
+	for _, c := range cols {
+		b.WriteByte(',')
+		b.WriteString(csvField(c))
+	}
+	b.WriteByte('\n')
+	for _, k := range keys {
+		if multi {
+			b.WriteString(strconv.FormatInt(int64(k.pid), 10))
+			b.WriteByte(',')
+		}
+		b.WriteString(csvField(kernelAt(k.pid, k.ts)))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatUint(k.ts, 10))
+		row := rows[k]
+		for ci := range cols {
+			b.WriteByte(',')
+			if ci < len(row) {
+				b.WriteString(strconv.FormatUint(row[ci], 10))
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func csvField(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// StallRow is one line of the stall summary.
+type StallRow struct {
+	Name   string
+	Cycles uint64
+}
+
+// StallSummary aggregates the cat="stall" counter events in events (the
+// SMs' end-of-run stall-reason flush) plus any extra named totals (e.g.
+// ".stall"-suffixed metrics counters), summed across tracks and pids,
+// sorted by cycles descending (name ascending on ties).
+func StallSummary(events []Event, extra map[string]uint64) []StallRow {
+	agg := map[string]uint64{}
+	for i := range events {
+		ev := &events[i]
+		if ev.Ph == PhaseCounter && ev.Cat == "stall" {
+			agg[ev.Name] += ev.Arg1
+		}
+	}
+	for name, v := range extra {
+		agg[name] += v
+	}
+	rows := make([]StallRow, 0, len(agg))
+	for name, v := range agg {
+		rows = append(rows, StallRow{name, v})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Cycles != rows[j].Cycles {
+			return rows[i].Cycles > rows[j].Cycles
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows
+}
+
+// WriteStallSummary writes the top-n stall reasons as aligned plain text.
+// n <= 0 means all rows.
+func WriteStallSummary(w io.Writer, events []Event, extra map[string]uint64, n int) error {
+	rows := StallSummary(events, extra)
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	var total uint64
+	for _, r := range rows {
+		total += r.Cycles
+	}
+	if len(rows) == 0 {
+		_, err := fmt.Fprintln(w, "no stall events recorded")
+		return err
+	}
+	width := 0
+	for _, r := range rows {
+		if len(r.Name) > width {
+			width = len(r.Name)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "top %d stall reasons (subcore-cycles):\n", len(rows)); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(r.Cycles) / float64(total)
+		}
+		if _, err := fmt.Fprintf(w, "  %-*s %12d  %5.1f%%\n", width, r.Name, r.Cycles, pct); err != nil {
+			return err
+		}
+	}
+	return nil
+}

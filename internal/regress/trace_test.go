@@ -1,0 +1,74 @@
+package regress
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"swiftsim/internal/obs"
+	"swiftsim/internal/sim"
+	"swiftsim/internal/workload"
+)
+
+// TestTracingLeavesGoldensIdentical is the observability determinism
+// oracle: running the golden corpus with request-level tracing enabled
+// must reproduce every committed fixture byte for byte. Observation reads
+// simulator state; it must never feed back into scheduling, counters or
+// cycle counts.
+func TestTracingLeavesGoldensIdentical(t *testing.T) {
+	corpus := goldenCorpus(t)
+	for _, cs := range corpus.Cases() {
+		t.Run(cs.GPU.Name+"/"+cs.App, func(t *testing.T) {
+			cs.Opts.Trace = obs.New(obs.NewRing(0), obs.RequestLevel)
+			res, err := cs.Run()
+			if err != nil {
+				t.Fatalf("traced simulation failed: %v", err)
+			}
+			got := Canonical(res)
+			want, err := os.ReadFile(GoldenPath(cs.GPU.Name, cs.App))
+			if err != nil {
+				t.Fatalf("missing golden fixture: %v", err)
+			}
+			if !bytes.Equal(want, got) {
+				t.Errorf("request-level tracing changed canonical metrics:\n%s",
+					DiffLines(want, got, 20))
+			}
+		})
+	}
+}
+
+// TestTracingIsObservationOnly runs the same Detailed simulation with and
+// without request-level tracing and requires bit-identical canonical
+// output. The Detailed configuration exercises every hook the goldens'
+// analytical memory model skips — timed caches, NoC, DRAM and the SM
+// stall attribution — so a tracing hook that perturbs state (an extra
+// engine wakeup, a counter bump, a mutated pooled request) fails here.
+func TestTracingIsObservationOnly(t *testing.T) {
+	app, err := workload.Generate("BFS", 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu := DefaultCorpus().GPUs[0]
+
+	plain, err := sim.Run(app, gpu, sim.Options{Kind: sim.Detailed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := obs.NewRing(0)
+	traced, err := sim.Run(app, gpu, sim.Options{
+		Kind:  sim.Detailed,
+		Trace: obs.New(ring, obs.RequestLevel),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, got := Canonical(plain), Canonical(traced)
+	if !bytes.Equal(want, got) {
+		t.Errorf("tracing perturbed the Detailed simulation:\n%s", DiffLines(want, got, 20))
+	}
+	// Guard against the oracle passing vacuously with tracing dead.
+	if ring.Len() == 0 {
+		t.Fatal("request-level tracing recorded no events; the oracle is not exercising the hooks")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"swiftsim/internal/config"
+	"swiftsim/internal/obs"
 	"swiftsim/internal/sim"
 	"swiftsim/internal/trace"
 )
@@ -71,6 +72,12 @@ type Options struct {
 	// may come from any worker goroutine; the callback must not call back
 	// into the runner.
 	OnProgress func(Progress)
+	// Trace is the sweep's observability handle. Each job derives its own
+	// per-simulation tracer (pid = job index + 1) sharing the recorder
+	// behind it, and the runner itself emits one wall-clock span per job
+	// (pid 0, tid = worker, microseconds since sweep start) so parallel
+	// utilization is visible in the trace. nil records nothing.
+	Trace *obs.Tracer
 }
 
 // Progress describes one finished job of a sweep.
@@ -174,9 +181,32 @@ func Run(jobs []Job, threads int, opts Options) []Outcome {
 		}
 	}
 
+	// exec runs one job with its wall-clock trace span. Emitting on the
+	// shared parent tracer from worker goroutines is safe: the tracer's
+	// fields are immutable and the recorder is concurrency-safe.
+	sweepStart := time.Now()
+	exec := func(worker, i int) Outcome {
+		jobStart := time.Since(sweepStart)
+		o := runJob(ctx, i, jobs[i], opts.JobTimeout, opts.Trace)
+		if opts.Trace.Enabled(obs.KernelLevel) {
+			failedArg := uint64(0)
+			if o.Err != nil {
+				failedArg = 1
+			}
+			opts.Trace.Emit(obs.Event{
+				Name: jobApp(jobs[i]) + " on " + jobs[i].GPU.Name, Cat: "job",
+				Ph: obs.PhaseSpan, Ts: uint64(jobStart.Microseconds()),
+				Dur: uint64((time.Since(sweepStart) - jobStart).Microseconds()),
+				Tid: int32(worker), Arg1Name: "job", Arg1: uint64(i),
+				Arg2Name: "failed", Arg2: failedArg,
+			})
+		}
+		return o
+	}
+
 	if threads <= 1 {
-		for i, j := range jobs {
-			finish(i, runJob(ctx, i, j, opts.JobTimeout))
+		for i := range jobs {
+			finish(i, exec(0, i))
 		}
 		return out
 	}
@@ -185,12 +215,12 @@ func Run(jobs []Job, threads int, opts Options) []Outcome {
 	var wg sync.WaitGroup
 	for w := 0; w < threads; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range next {
-				finish(i, runJob(ctx, i, jobs[i], opts.JobTimeout))
+				finish(i, exec(worker, i))
 			}
-		}()
+		}(w)
 	}
 	for i := range jobs {
 		next <- i
@@ -202,8 +232,13 @@ func Run(jobs []Job, threads int, opts Options) []Outcome {
 
 // runJob executes one job with panic isolation and a per-job deadline. It
 // never panics: any failure, including a recovered panic, is returned as a
-// *JobError on the Outcome.
-func runJob(ctx context.Context, i int, j Job, timeout time.Duration) Outcome {
+// *JobError on the Outcome. With tracing on, the job's simulation records
+// into its own pid derived from the sweep tracer (j is a copy, so setting
+// its Opts.Trace never mutates the caller's Job slice).
+func runJob(ctx context.Context, i int, j Job, timeout time.Duration, tr *obs.Tracer) Outcome {
+	if tr != nil {
+		j.Opts.Trace = tr.WithPid(i + 1)
+	}
 	jobErr := func(cause error) *JobError {
 		return &JobError{JobIndex: i, App: jobApp(j), GPU: j.GPU.Name, Err: cause}
 	}

@@ -1,0 +1,79 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"swiftsim/internal/obs"
+)
+
+// TestConcurrentSweepTracing runs a parallel sweep with a shared tracer:
+// every worker emits job spans and every simulation records into its own
+// derived pid through the one recorder. Run under -race (the tier-1
+// scope), this is the integration check that the tracer's immutable
+// fields and the recorder's locking make concurrent tracing safe.
+func TestConcurrentSweepTracing(t *testing.T) {
+	jobs := testJobs(t, []string{"BFS", "HOTSPOT", "NW", "GEMM", "ADI", "SM"})
+	var buf bytes.Buffer
+	stream := obs.NewJSONStream(&buf)
+	ring := obs.NewRing(0)
+	tr := obs.New(obs.Multi(stream, ring), obs.KernelLevel)
+
+	for _, o := range Run(jobs, 4, Options{Trace: tr}) {
+		if o.Err != nil {
+			t.Fatal(o.Err)
+		}
+	}
+	if err := stream.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The streamed output must be valid JSON even after concurrent writes.
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("streamed trace is not valid JSON: %v", err)
+	}
+
+	// Every job must have its runner span (pid 0) and at least one kernel
+	// span in its own derived pid.
+	jobSpans := map[int]bool{}
+	kernelPids := map[int]bool{}
+	for _, ev := range ring.Events() {
+		switch {
+		case ev.Cat == "job" && ev.Ph == obs.PhaseSpan:
+			if ev.Pid != 0 {
+				t.Errorf("job span in pid %d, want 0", ev.Pid)
+			}
+			jobSpans[int(ev.Arg1)] = true
+		case ev.Cat == "kernel" && ev.Ph == obs.PhaseSpan:
+			kernelPids[int(ev.Pid)] = true
+		}
+	}
+	for i := range jobs {
+		if !jobSpans[i] {
+			t.Errorf("job %d has no runner span", i)
+		}
+		if !kernelPids[i+1] {
+			t.Errorf("job %d recorded no kernel spans in pid %d", i, i+1)
+		}
+	}
+}
+
+// TestTracingDoesNotChangeOutcomes re-runs a traced sweep against an
+// untraced one and requires identical results — the runner-level half of
+// the observation-only contract.
+func TestTracingDoesNotChangeOutcomes(t *testing.T) {
+	jobs := testJobs(t, []string{"BFS", "GEMM", "SM"})
+	plain := Run(jobs, 2, Options{})
+	traced := Run(jobs, 2, Options{Trace: obs.New(obs.NewRing(0), obs.RequestLevel)})
+	for i := range jobs {
+		if plain[i].Err != nil || traced[i].Err != nil {
+			t.Fatalf("job %d failed: %v / %v", i, plain[i].Err, traced[i].Err)
+		}
+		if plain[i].Result.Cycles != traced[i].Result.Cycles {
+			t.Errorf("job %d: cycles %d (untraced) != %d (traced)",
+				i, plain[i].Result.Cycles, traced[i].Result.Cycles)
+		}
+	}
+}

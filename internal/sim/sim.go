@@ -31,6 +31,7 @@ import (
 	"swiftsim/internal/mem"
 	"swiftsim/internal/metrics"
 	"swiftsim/internal/noc"
+	"swiftsim/internal/obs"
 	"swiftsim/internal/reuse"
 	"swiftsim/internal/smcore"
 	"swiftsim/internal/trace"
@@ -106,6 +107,11 @@ type Options struct {
 	// simulated and the kernel's cycles are extrapolated linearly.
 	// 0 or 1 simulates everything. Composes with every Kind.
 	SampleBlocks float64
+	// Trace is the observability handle (internal/obs). nil (or a tracer
+	// below the relevant level) records nothing; with tracing on, the
+	// engine, SMs, caches, NoC and DRAM emit spans and counter samples
+	// into it. Tracing never changes simulation results or metrics.
+	Trace *obs.Tracer
 }
 
 // Result is the outcome of simulating one application.
@@ -149,6 +155,7 @@ type gpuAssembly struct {
 	g           *metrics.Gatherer
 	bs          *smcore.BlockScheduler
 	l1s         []*cache.Timed
+	sms         []*smcore.SM
 	kernelIndex int
 }
 
@@ -212,6 +219,13 @@ func RunCtx(ctx context.Context, app *trace.App, gpu config.GPU, opts Options) (
 		maxCycles = 1_000_000_000
 	}
 
+	tr := opts.Trace
+	var ktid int32
+	if tr.Enabled(obs.KernelLevel) {
+		tr.NameProcess(app.Name)
+		ktid = tr.RegisterTrack("kernels")
+	}
+
 	var overhead, extrapolated uint64
 	kernelCycles := make([]uint64, 0, len(app.Kernels))
 	for ki, k := range app.Kernels {
@@ -240,6 +254,17 @@ func RunCtx(ctx context.Context, app *trace.App, gpu config.GPU, opts Options) (
 		kernelCycles = append(kernelCycles, kc)
 		extrapolated += kc
 		overhead += opts.ExtraKernelOverhead
+		if tr.Enabled(obs.KernelLevel) {
+			tr.Emit(obs.Event{Name: k.Name, Cat: "kernel", Ph: obs.PhaseSpan,
+				Ts: kStart, Dur: a.eng.Cycle() - kStart, Tid: ktid,
+				Arg1Name: "blocks", Arg1: uint64(len(k.Blocks)),
+				Arg2Name: "index", Arg2: uint64(ki)})
+		}
+	}
+	if tr.Enabled(obs.ModuleLevel) {
+		for _, sm := range a.sms {
+			sm.FlushTrace(a.eng.Cycle())
+		}
 	}
 
 	total := extrapolated + overhead
@@ -326,6 +351,8 @@ func assemble(gpu config.GPU, opts Options, prof *reuse.Profile) (*gpuAssembly, 
 	eng := engine.New()
 	g := metrics.New()
 	a := &gpuAssembly{eng: eng, g: g}
+	eng.SetTracer(opts.Trace)
+	traceModule := opts.Trace.Enabled(obs.ModuleLevel)
 
 	scale := opts.LatencyScale
 	smCfg := gpu.SM
@@ -349,9 +376,14 @@ func assemble(gpu config.GPU, opts Options, prof *reuse.Profile) (*gpuAssembly, 
 		l1s := make([]*cache.Timed, gpu.NumSMs)
 		for i := range l1s {
 			l1s[i] = cache.NewTimed("l1", l1cfg, mem.LevelL1, eng, backend, g)
+			l1s[i].SetTracer(opts.Trace)
 		}
 		a.l1s = l1s
 		l1For = func(smID int) mem.Port { return l1s[smID] }
+		if traceModule {
+			l1w := metrics.NewWindow(g.Counter("l1.hit"), g.Counter("l1.miss"))
+			eng.AddProbe("l1_hit_permille", l1w.DeltaPermille)
+		}
 		defer func() {
 			for _, l1 := range l1s {
 				eng.Register(l1)
@@ -368,6 +400,8 @@ func assemble(gpu config.GPU, opts Options, prof *reuse.Profile) (*gpuAssembly, 
 		for p := 0; p < gpu.MemPartitions; p++ {
 			dp := dram.New("dram", eng, gpu.DRAMBanksPerPartition, dramLat, gpu.DRAMRowHitLatency, g)
 			l2 := cache.NewTimed("l2", l2cfg, mem.LevelL2, eng, dp, g)
+			dp.SetTracer(opts.Trace)
+			l2.SetTracer(opts.Trace)
 			drams = append(drams, dp)
 			l2s = append(l2s, l2)
 			targets[p] = l2
@@ -386,6 +420,8 @@ func assemble(gpu config.GPU, opts Options, prof *reuse.Profile) (*gpuAssembly, 
 		var interconnect interface {
 			mem.Port
 			engine.Ticker
+			SetTracer(*obs.Tracer)
+			Occupancy() int
 		}
 		if gpu.NoCTopology == "ring" {
 			// NoCLatency is the crossbar's end-to-end traversal; a
@@ -411,14 +447,32 @@ func assemble(gpu config.GPU, opts Options, prof *reuse.Profile) (*gpuAssembly, 
 				uint64(scaleLat(gpu.NoCLatency, scale)), flitsPerSector, g)
 		}
 
+		interconnect.SetTracer(opts.Trace)
+
 		l1cfg := gpu.L1
 		l1cfg.HitLatency = scaleLat(l1cfg.HitLatency, scale)
 		l1s := make([]*cache.Timed, gpu.NumSMs)
 		for i := range l1s {
 			l1s[i] = cache.NewTimed("l1", l1cfg, mem.LevelL1, eng, interconnect, g)
+			l1s[i].SetTracer(opts.Trace)
 		}
 		a.l1s = l1s
 		l1For = func(smID int) mem.Port { return l1s[smID] }
+
+		if traceModule {
+			l1w := metrics.NewWindow(g.Counter("l1.hit"), g.Counter("l1.miss"))
+			l2w := metrics.NewWindow(g.Counter("l2.hit"), g.Counter("l2.miss"))
+			eng.AddProbe("l1_hit_permille", l1w.DeltaPermille)
+			eng.AddProbe("l2_hit_permille", l2w.DeltaPermille)
+			eng.AddProbe("noc_occupancy", func() uint64 { return uint64(interconnect.Occupancy()) })
+			eng.AddProbe("dram_queue", func() uint64 {
+				n := 0
+				for _, dp := range drams {
+					n += dp.QueueDepth()
+				}
+				return uint64(n)
+			})
+		}
 
 		// Build SMs below, then register memory modules after them so
 		// issue happens before same-cycle memory processing.
@@ -509,7 +563,23 @@ func assemble(gpu config.GPU, opts Options, prof *reuse.Profile) (*gpuAssembly, 
 		if err != nil {
 			return nil, err
 		}
+		sm.SetTracer(opts.Trace)
 		sms[i] = sm
+	}
+	a.sms = sms
+	if traceModule {
+		// "Active" means holding resident blocks — a memory-stalled SM is
+		// still occupied. Busy() would report the idle-aware issue state
+		// and zero out the timeline during long stalls.
+		eng.AddProbe("active_sms", func() uint64 {
+			n := 0
+			for _, sm := range sms {
+				if sm.ResidentBlocks() > 0 {
+					n++
+				}
+			}
+			return uint64(n)
+		})
 	}
 	bs = smcore.NewBlockScheduler(sms, g)
 	a.bs = bs

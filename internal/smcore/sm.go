@@ -6,6 +6,7 @@ import (
 	"swiftsim/internal/config"
 	"swiftsim/internal/engine"
 	"swiftsim/internal/metrics"
+	"swiftsim/internal/obs"
 	"swiftsim/internal/trace"
 )
 
@@ -45,6 +46,9 @@ type residentBlock struct {
 	atBarrier int
 	regs      int
 	shmem     int
+	// launchCycle is the assignment cycle, recorded only while tracing so
+	// blockDone can emit the block's residency span.
+	launchCycle uint64
 }
 
 func (b *residentBlock) barrierArrive() {
@@ -310,6 +314,76 @@ type SM struct {
 	issued    *metrics.Counter
 	stalls    *metrics.Counter
 	blocksRun *metrics.Counter
+
+	// tracing. trOn caches tr.Enabled(ModuleLevel); stallReasons is
+	// SM-local (not a metrics counter — the metrics snapshot must be
+	// byte-identical with tracing on, see the regress determinism oracle)
+	// and is flushed as obs events by FlushTrace at end of run.
+	tr           *obs.Tracer
+	trTid        int32
+	trOn         bool
+	stallReasons [numStallReasons]uint64
+}
+
+// Stall-reason classification for the trace's stall summary. A stalled
+// sub-core is attributed to the highest-priority reason that applies:
+// waiting on memory/unit results, parked at a barrier, draining exited
+// warps, else structural ("other": unit conflicts, scoreboard, empty).
+const (
+	stallMem = iota
+	stallBarrier
+	stallDrain
+	stallOther
+	numStallReasons
+)
+
+var stallReasonNames = [numStallReasons]string{"mem", "barrier", "drain", "other"}
+
+// classifyStall attributes the sub-core's failed issue round to a reason.
+// Only called while tracing at ModuleLevel.
+func (sc *subCore) classifyStall() int {
+	reason := stallOther
+	for _, w := range sc.warps {
+		if w == nil {
+			continue
+		}
+		if w.outstanding > 0 {
+			return stallMem
+		}
+		if w.atBarrier && reason > stallBarrier {
+			reason = stallBarrier
+		} else if w.exited && !w.done && reason > stallDrain {
+			reason = stallDrain
+		}
+	}
+	return reason
+}
+
+// SetTracer installs the SM's tracer (nil for off) and registers its
+// trace track. Call before the simulation runs.
+func (sm *SM) SetTracer(t *obs.Tracer) {
+	sm.tr = t
+	sm.trOn = t.Enabled(obs.ModuleLevel)
+	if sm.trOn {
+		sm.trTid = t.RegisterTrack(sm.Name())
+	}
+}
+
+// FlushTrace emits the SM's accumulated stall-reason totals as obs
+// counter events (cat "stall", in sub-core cycles). The simulator calls it
+// once after the run; cycle is the final simulated cycle.
+func (sm *SM) FlushTrace(cycle uint64) {
+	if !sm.trOn {
+		return
+	}
+	sm.settle()
+	for i, n := range sm.stallReasons {
+		if n == 0 {
+			continue
+		}
+		sm.tr.Emit(obs.Event{Name: stallReasonNames[i], Cat: "stall", Ph: obs.PhaseCounter,
+			Ts: cycle, Tid: sm.trTid, Arg1Name: "cycles", Arg1: n})
+	}
 }
 
 // NewSM builds an SM with units supplied by us. onBlockDone is invoked
@@ -414,7 +488,17 @@ func (sm *SM) settle() {
 		return
 	}
 	if len(sm.blocks) > 0 {
-		sm.stalls.Add(uint64(len(sm.subcores)) * (now - sm.accounted))
+		gap := now - sm.accounted
+		sm.stalls.Add(uint64(len(sm.subcores)) * gap)
+		if sm.trOn {
+			// Attribute the reconstructed stalls the same way the ticks
+			// would have: each sub-core's current blocked state held for
+			// the whole gap (nothing changes while the SM is out of the
+			// active set).
+			for _, sc := range sm.subcores {
+				sm.stallReasons[sc.classifyStall()] += gap
+			}
+		}
 	}
 	sm.accounted = now
 }
@@ -467,6 +551,9 @@ func (sm *SM) Tick(cycle uint64) {
 			if !sc.issue(cycle) {
 				if len(sm.blocks) > 0 {
 					sm.stalls.Inc()
+					if sm.trOn {
+						sm.stallReasons[sc.classifyStall()]++
+					}
 				}
 				break
 			}
@@ -558,6 +645,9 @@ func (sm *SM) AssignBlock(k *trace.Kernel, index int) error {
 	sm.usedRegs += regs
 	sm.usedShmem += shmem
 	sm.blocksRun.Inc()
+	if sm.trOn && sm.eng != nil {
+		rb.launchCycle = sm.eng.Cycle()
+	}
 	sm.busyCache = true // newly resident warps have work
 	if sm.wake != nil {
 		sm.wake()
@@ -580,6 +670,11 @@ func (sm *SM) blockDone(rb *residentBlock) {
 	sm.usedWarps -= rb.liveWarpsTotal()
 	sm.usedRegs -= rb.regs
 	sm.usedShmem -= rb.shmem
+	if sm.trOn && sm.eng != nil {
+		sm.tr.Emit(obs.Event{Name: "block", Cat: "sm", Ph: obs.PhaseSpan,
+			Ts: rb.launchCycle, Dur: sm.eng.Cycle() - rb.launchCycle, Tid: sm.trTid,
+			Arg1Name: "index", Arg1: uint64(rb.index)})
+	}
 	if sm.onBlockDone != nil {
 		sm.onBlockDone(sm)
 	}

@@ -28,6 +28,7 @@ import (
 	"swiftsim/internal/config"
 	"swiftsim/internal/hwmodel"
 	"swiftsim/internal/metrics"
+	"swiftsim/internal/obs"
 	"swiftsim/internal/runner"
 	"swiftsim/internal/sim"
 	"swiftsim/internal/smcore"
@@ -160,6 +161,86 @@ func NewMemFirstPicker() WarpPicker { return smcore.NewMemFirstPicker() }
 // NewYoungestFirstPicker returns the youngest-first strawman policy.
 func NewYoungestFirstPicker() WarpPicker { return smcore.NewYoungestFirstPicker() }
 
+// Observability: simulations can record structured trace events — kernel
+// and block spans, memory request lifecycles, engine fast-forward windows,
+// a periodic counter timeline — into a TraceRecorder, exported as Chrome
+// trace-event JSON (chrome://tracing / Perfetto), a counter-timeline CSV,
+// or a top-N stall summary. With a nil Tracer (the default) every hook is
+// a single nil check: results, metrics and performance are unchanged.
+
+// Tracer is the handle simulations emit trace events through; construct
+// one with NewTracer and pass it in Config.Trace or RunOptions.Trace. A
+// nil *Tracer records nothing.
+type Tracer = obs.Tracer
+
+// TraceLevel selects how much detail a Tracer records.
+type TraceLevel = obs.Level
+
+// Trace levels, in increasing detail and volume.
+const (
+	// TraceOff records nothing.
+	TraceOff TraceLevel = obs.Off
+	// TraceKernel records per-kernel and per-job spans.
+	TraceKernel TraceLevel = obs.KernelLevel
+	// TraceModule adds block spans, stall attribution, engine
+	// fast-forward windows, and the periodic counter timeline.
+	TraceModule TraceLevel = obs.ModuleLevel
+	// TraceRequest adds every memory request's lifecycle through the L1,
+	// NoC, L2 and DRAM.
+	TraceRequest TraceLevel = obs.RequestLevel
+)
+
+// ParseTraceLevel parses "off", "kernel", "module" or "request".
+func ParseTraceLevel(s string) (TraceLevel, error) { return obs.ParseLevel(s) }
+
+// TraceRecorder is the sink trace events are recorded into; it must be
+// safe for concurrent use (parallel sweeps share one recorder).
+type TraceRecorder = obs.Recorder
+
+// TraceEvent is one recorded trace event.
+type TraceEvent = obs.Event
+
+// TraceRing is a bounded in-memory recorder keeping the most recent
+// events; read them back with Events().
+type TraceRing = obs.Ring
+
+// NewTracer returns a Tracer recording into rec at the given level, or
+// nil (record nothing) when rec is nil or level is TraceOff.
+func NewTracer(rec TraceRecorder, level TraceLevel) *Tracer { return obs.New(rec, level) }
+
+// NewTraceRing returns an in-memory recorder holding at most capacity
+// events (<= 0 uses a large default).
+func NewTraceRing(capacity int) *TraceRing { return obs.NewRing(capacity) }
+
+// NewTraceJSON returns a recorder streaming Chrome trace-event JSON to w
+// as events arrive. Close it on every exit path — Close writes the array
+// terminator, so even a truncated run leaves a loadable trace. If w is an
+// io.Closer it is closed too.
+func NewTraceJSON(w io.Writer) TraceRecorder { return obs.NewJSONStream(w) }
+
+// TraceMulti duplicates events to several recorders (e.g. a JSON file
+// plus a ring for the CSV and stall views).
+func TraceMulti(recs ...TraceRecorder) TraceRecorder { return obs.Multi(recs...) }
+
+// WriteChromeTrace writes recorded events as Chrome trace-event JSON.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	return obs.WriteChromeTrace(w, events)
+}
+
+// WriteTraceCounterCSV pivots recorded counter samples into a per-kernel
+// timeline CSV (cycle rows × counter columns: active SMs, L1/L2 hit-rate
+// window, NoC occupancy, DRAM queue depth).
+func WriteTraceCounterCSV(w io.Writer, events []TraceEvent) error {
+	return obs.WriteCounterCSV(w, events)
+}
+
+// WriteTraceStallSummary writes the top-n stall reasons aggregated from
+// recorded events plus any extra named totals (pass nil for none; n <= 0
+// writes all).
+func WriteTraceStallSummary(w io.Writer, events []TraceEvent, extra map[string]uint64, n int) error {
+	return obs.WriteStallSummary(w, events, extra, n)
+}
+
 // Config selects how Simulate models the GPU.
 type Config struct {
 	// Simulator picks the configuration (default Detailed).
@@ -175,6 +256,9 @@ type Config struct {
 	// a prefix of each kernel's blocks is simulated and cycles are
 	// extrapolated by wave count. 0 or 1 simulates everything.
 	SampleBlocks float64
+	// Trace records observability events for this simulation (see
+	// NewTracer). nil — the default — records nothing and costs nothing.
+	Trace *Tracer
 }
 
 // Result is the outcome of one simulation (see sim.Result for the field
@@ -196,6 +280,7 @@ func SimulateCtx(ctx context.Context, app *App, gpu GPU, cfg Config) (*Result, e
 		MaxCycles:    cfg.MaxCycles,
 		Scheduler:    cfg.Scheduler,
 		SampleBlocks: cfg.SampleBlocks,
+		Trace:        cfg.Trace,
 	})
 }
 
@@ -257,6 +342,7 @@ func SimulateAllOpts(jobs []Job, threads int, opts RunOptions) []Outcome {
 			MaxCycles:    j.Cfg.MaxCycles,
 			Scheduler:    j.Cfg.Scheduler,
 			SampleBlocks: j.Cfg.SampleBlocks,
+			Trace:        j.Cfg.Trace,
 		}}
 	}
 	outs := runner.Run(rjobs, threads, opts)
