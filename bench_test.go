@@ -290,6 +290,45 @@ func BenchmarkRunnerScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineParallel measures intra-simulation parallelism: one
+// Detailed simulation of a compute-heavy workload with its SMs sharded
+// across 1, 2, 4 and NumCPU engine threads. Results are deterministic at
+// every thread count (the engine synchronizes shards at a per-cycle
+// barrier), so the bench also cross-checks cycles against the serial run;
+// speedup is bounded by the host's core count. The threads=1/threads=4
+// pair feeds the `make benchcmp` speedup gate on multi-core hosts.
+func BenchmarkEngineParallel(b *testing.B) {
+	app, err := workload.Generate("GEMM", 4.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gpu := benchGPU()
+	base, err := sim.Run(app, gpu, sim.Options{Kind: sim.Detailed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	threadCounts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		threadCounts = append(threadCounts, n)
+	}
+	for _, threads := range threadCounts {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(app, gpu, sim.Options{Kind: sim.Detailed, EngineThreads: threads})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+			}
+			if cycles != base.Cycles {
+				b.Fatalf("EngineThreads=%d cycles %d != serial %d", threads, cycles, base.Cycles)
+			}
+			b.ReportMetric(float64(cycles), "gpu-cycles")
+		})
+	}
+}
+
 // BenchmarkAblationTopology swaps the interconnect module between crossbar
 // and ring — the NoC-exploration flexibility the paper contrasts against
 // queueing-model NoCs.

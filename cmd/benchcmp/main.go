@@ -14,6 +14,12 @@
 // Exit codes: 0 — comparison printed; 1 — bad input or I/O error.
 // With -gate X, exit 2 if the geometric-mean speedup falls below X
 // (used by `make benchcmp` as a regression tripwire).
+//
+// -within 'A,B,ratio' gates a pair of benchmarks inside the NEW file:
+// median(A) must be at least ratio × median(B), matching names with the
+// -cpu suffix (-8 etc.) ignored. `make benchcmp` uses it on multi-core
+// hosts to require the sharded engine's threads=4 run to beat threads=1
+// by the committed speedup floor.
 package main
 
 import (
@@ -37,6 +43,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	metric := fs.String("metric", "ns/op", "metric to compare (any unit present in the files)")
 	gate := fs.Float64("gate", 0, "fail (exit 2) if geomean speedup < this (0 = no gate)")
+	within := fs.String("within", "", "'A,B,ratio': fail (exit 2) unless median(A) >= ratio*median(B) in the new file (-cpu suffixes ignored)")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
@@ -103,7 +110,63 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchcmp: geomean speedup %.2fx below gate %.2fx\n", gm, *gate)
 		return 2
 	}
+	if *within != "" {
+		return gateWithin(*within, new_, stdout, stderr)
+	}
 	return 0
+}
+
+// gateWithin enforces a -within 'A,B,ratio' constraint against the new
+// file's samples: median(A) >= ratio * median(B).
+func gateWithin(spec string, set *benchSet, stdout, stderr io.Writer) int {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 3 {
+		fmt.Fprintf(stderr, "benchcmp: -within wants 'A,B,ratio', got %q\n", spec)
+		return 1
+	}
+	ratio, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+	if err != nil || ratio <= 0 {
+		fmt.Fprintf(stderr, "benchcmp: -within: bad ratio %q\n", parts[2])
+		return 1
+	}
+	lookup := func(want string) []float64 {
+		want = stripCPUSuffix(strings.TrimSpace(want))
+		var out []float64
+		for name, v := range set.samples {
+			if stripCPUSuffix(name) == want {
+				out = append(out, v...)
+			}
+		}
+		return out
+	}
+	a, b := lookup(parts[0]), lookup(parts[1])
+	if len(a) == 0 || len(b) == 0 {
+		fmt.Fprintf(stderr, "benchcmp: -within: %q or %q not found in the new file\n", parts[0], parts[1])
+		return 1
+	}
+	sp := 0.0
+	if mb := median(b); mb > 0 {
+		sp = median(a) / mb
+	}
+	fmt.Fprintf(stdout, "within: %s / %s = %.2fx (floor %.2fx)\n",
+		strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1]), sp, ratio)
+	if sp < ratio {
+		fmt.Fprintf(stderr, "benchcmp: within-file speedup %.2fx below floor %.2fx\n", sp, ratio)
+		return 2
+	}
+	return 0
+}
+
+// stripCPUSuffix drops go test's trailing -GOMAXPROCS from a benchmark
+// name ("Bench/threads=4-8" -> "Bench/threads=4") so -within specs stay
+// host independent.
+func stripCPUSuffix(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
 }
 
 // benchSet holds the samples of one file: benchmark name -> metric values,

@@ -98,3 +98,37 @@ func TestBadInput(t *testing.T) {
 		t.Fatalf("exit %d, want 1 for wrong arg count", code)
 	}
 }
+
+const withinBench = `goos: linux
+BenchmarkEngineParallel/threads=1-8  2  400000000 ns/op
+BenchmarkEngineParallel/threads=1-8  2  420000000 ns/op
+BenchmarkEngineParallel/threads=1-8  2  410000000 ns/op
+BenchmarkEngineParallel/threads=4-8  2  200000000 ns/op
+BenchmarkEngineParallel/threads=4-8  2  190000000 ns/op
+BenchmarkEngineParallel/threads=4-8  2  210000000 ns/op
+PASS
+`
+
+func TestWithinGate(t *testing.T) {
+	o := writeTemp(t, "old.txt", withinBench)
+	n := writeTemp(t, "new.txt", withinBench)
+	spec := "BenchmarkEngineParallel/threads=1,BenchmarkEngineParallel/threads=4,"
+	var out, errb bytes.Buffer
+	// 410ms / 200ms = 2.05x: passes a 1.8 floor, fails a 2.5 floor. The
+	// spec omits the -8 cpu suffix — matching must ignore it.
+	if code := realMain([]string{"-within", spec + "1.8", o, n}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, want 0 (2.05x over a 1.8x floor); stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "2.05x") {
+		t.Errorf("missing within speedup 2.05x in:\n%s", out.String())
+	}
+	if code := realMain([]string{"-within", spec + "2.5", o, n}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2 (2.05x under a 2.5x floor)", code)
+	}
+	if code := realMain([]string{"-within", "nope,also-nope,1.8", o, n}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1 (unknown benchmarks)", code)
+	}
+	if code := realMain([]string{"-within", "bad-spec", o, n}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1 (malformed spec)", code)
+	}
+}

@@ -49,6 +49,7 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	scale := fs.Float64("scale", 1.0, "workload problem scale")
 	apps := fs.String("apps", "", "comma-separated application subset (default: all 20)")
 	threads := fs.Int("threads", 0, "parallel workers for fig5 (0 = NumCPU)")
+	engineThreads := fs.Int("engine-threads", 1, "engine shards per simulation (deterministic; the fig5 job pool shrinks to threads/engine-threads)")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file for the sweep")
 	traceLevel := fs.String("trace-level", "kernel", "trace detail: off|kernel|module|request")
@@ -114,11 +115,12 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	}
 
 	p := experiments.Params{
-		Scale:      *scale,
-		Threads:    *threads,
-		Ctx:        ctx,
-		JobTimeout: *jobTimeout,
-		Trace:      tracer,
+		Scale:         *scale,
+		Threads:       *threads,
+		EngineThreads: *engineThreads,
+		Ctx:           ctx,
+		JobTimeout:    *jobTimeout,
+		Trace:         tracer,
 	}
 	if *apps != "" {
 		p.Apps = strings.Split(*apps, ",")

@@ -53,6 +53,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	simName := fs.String("sim", "detailed", "simulator: detailed|basic|memory|l2")
 	hitSrc := fs.String("hitrates", "functional", "memory-model hit-rate source: functional|reuse")
 	sample := fs.Float64("sample", 0, "block-sampling fraction in (0,1); 0 = full simulation")
+	engineThreads := fs.Int("engine-threads", 1, "engine shards ticking SMs concurrently (deterministic; 1 = serial)")
 	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the simulation (0 = none)")
 	showMetrics := fs.Bool("metrics", false, "print the full Metrics Gatherer report")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file (load in chrome://tracing)")
@@ -103,7 +104,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	cfg := swiftsim.Config{SampleBlocks: *sample}
+	cfg := swiftsim.Config{SampleBlocks: *sample, EngineThreads: *engineThreads}
 	switch *simName {
 	case "detailed":
 		cfg.Simulator = swiftsim.Detailed

@@ -25,7 +25,7 @@ import (
 // completion is a single scheduled event.
 type ALUModel struct {
 	name     string
-	eng      *engine.Engine
+	eng      engine.Context
 	latency  uint64
 	interval uint64
 	freeAt   uint64 // issue port next free (absolute cycle)
@@ -36,7 +36,7 @@ type ALUModel struct {
 
 // NewALUModel builds an analytical ALU with the same parameters as the
 // cycle-accurate pipeline it replaces.
-func NewALUModel(name string, eng *engine.Engine, latency, interval int, g *metrics.Gatherer) *ALUModel {
+func NewALUModel(name string, eng engine.Context, latency, interval int, g *metrics.Gatherer) *ALUModel {
 	if interval < 1 {
 		interval = 1
 	}

@@ -24,7 +24,7 @@ type Timed struct {
 	name  string
 	cfg   config.Cache
 	level mem.Level
-	eng   *engine.Engine
+	eng   engine.Context
 	wake  func() // engine activation callback (nil when standalone)
 	down  mem.Port
 
@@ -72,7 +72,7 @@ func (c *Timed) SetTracer(t *obs.Tracer) {
 
 // NewTimed constructs a cycle-accurate cache named name (the metrics
 // prefix), at hierarchy level level, writing downstream traffic to down.
-func NewTimed(name string, cfg config.Cache, level mem.Level, eng *engine.Engine, down mem.Port, g *metrics.Gatherer) *Timed {
+func NewTimed(name string, cfg config.Cache, level mem.Level, eng engine.Context, down mem.Port, g *metrics.Gatherer) *Timed {
 	c := &Timed{
 		name:          name,
 		cfg:           cfg,
@@ -136,10 +136,17 @@ func (c *Timed) bankOf(addr uint64) int {
 	return int((addr >> c.tags.sectorShift) % uint64(c.cfg.Banks))
 }
 
-// Tick implements engine.Ticker: drain pending downstream traffic, then
-// let each bank process up to Throughput requests.
-func (c *Timed) Tick(cycle uint64) {
+// PreTick implements engine.PreTicker: drain pending downstream traffic.
+// The engine runs it immediately before Tick in serial mode, and hoists it
+// into the serial pre-phase of a parallel cycle so a sharded L1's pushes
+// into the shared NoC/L2 happen in registration order.
+func (c *Timed) PreTick(cycle uint64) {
 	c.drainDown()
+}
+
+// Tick implements engine.Ticker: let each bank process up to Throughput
+// requests. Downstream drains happen in PreTick.
+func (c *Timed) Tick(cycle uint64) {
 	for b := range c.banks {
 		for n := 0; n < c.cfg.Throughput && len(c.banks[b]) > 0; n++ {
 			r := c.banks[b][0]

@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"swiftsim/internal/obs"
 )
@@ -153,6 +154,14 @@ func (q *eventQueue) siftDown(i int) {
 type tickerEntry struct {
 	t         Ticker
 	wakeAware bool
+	// pre is non-nil for tickers implementing PreTicker; the engine runs
+	// PreTick immediately before Tick in serial mode, and hoists it into
+	// the serial pre-phase of the barrier protocol in parallel mode.
+	pre PreTicker
+	// shard is the entry's shard index (-1 = serial shard); sctx is the
+	// owning shard's staging context, nil for serial entries.
+	shard int
+	sctx  *shardCtx
 	// active marks membership in the active list. Wake-aware tickers are
 	// active while busy (as of their last post-tick Busy poll) or pending;
 	// legacy tickers are permanently active.
@@ -212,6 +221,32 @@ type Engine struct {
 	probes     []probe
 	nextSample uint64
 	sampleIvl  uint64
+	// preSample, when set, runs immediately before each probe sample (the
+	// simulator uses it to drain per-shard metric shadows so sampled
+	// windows match the serial engine byte-for-byte).
+	preSample func()
+
+	// parallel (sharded) execution state; see parallel.go. nShards == 0
+	// means serial mode — the default, and the only mode plain Register
+	// ever produces.
+	nShards       int
+	shards        []*shardCtx
+	pLo, pHi      int // contiguous registration-index range of sharded entries
+	shardsChecked bool
+	workersUp     bool
+	workerWG      sync.WaitGroup
+	// preStaging routes Schedule calls made during the parallel pre-phase
+	// (downstream drains) into preStage, so their event sequence numbers
+	// interleave with the shard-staged ones exactly as in serial order.
+	preStaging bool
+	preIdx     int
+	preStage   []stagedEvent
+	// segScratch/activeScratch/mergeCur are retained buffers for the
+	// barrier's segment snapshot, active-list rebuild and staged-queue
+	// merge (no per-cycle allocations in steady state).
+	segScratch    []int
+	activeScratch []int
+	mergeCur      []int
 }
 
 // probe is a named read-only gauge sampled into the counter timeline.
@@ -253,8 +288,17 @@ func (e *Engine) AddProbe(name string, fn func() uint64) {
 // cycle-accurate modules are currently being ticked.
 func (e *Engine) ActiveTickers() int { return len(e.active) }
 
+// SetPreSample installs a hook run immediately before every probe sample
+// (and only then). Parallel assemblies use it to fold per-shard metric
+// shadows into the main gatherer so the sampled counter timeline is
+// identical to a serial run's.
+func (e *Engine) SetPreSample(fn func()) { e.preSample = fn }
+
 // sample emits one counter timeline row at the current cycle.
 func (e *Engine) sample() {
+	if e.preSample != nil {
+		e.preSample()
+	}
 	e.tr.Counter(obs.ModuleLevel, "active_tickers", e.trTid, e.cycle, uint64(len(e.active)))
 	for _, p := range e.probes {
 		e.tr.Counter(obs.ModuleLevel, p.name, e.trTid, e.cycle, p.fn())
@@ -264,7 +308,7 @@ func (e *Engine) sample() {
 
 // New returns an empty engine at cycle 0.
 func New() *Engine {
-	return &Engine{tickPos: -1}
+	return &Engine{tickPos: -1, pLo: -1}
 }
 
 // Cycle returns the current simulated cycle.
@@ -297,9 +341,17 @@ func (e *Engine) AddModule(m Module) {
 func (e *Engine) Register(t Ticker) {
 	idx := len(e.entries)
 	wa, wakeAware := t.(WakeAware)
-	e.entries = append(e.entries, tickerEntry{t: t, wakeAware: wakeAware})
+	en := tickerEntry{t: t, wakeAware: wakeAware, shard: -1}
+	en.pre, _ = t.(PreTicker)
+	e.entries = append(e.entries, en)
 	e.modules = append(e.modules, t)
 	if wakeAware {
+		// Serial entries wake through activate directly: they are never
+		// woken from inside a parallel shard pass (cross-shard effects go
+		// through Defer/Schedule, applied at the barrier with staging off),
+		// so the wakeEntry staging check would be a dead branch on a hot
+		// path. Sharded entries (RegisterSharded) get the staging-aware
+		// callback.
 		wa.SetWake(func() { e.activate(idx) })
 		// Start pending so the first simulated cycle ticks every module
 		// once, letting it publish its initial busy state.
@@ -362,6 +414,13 @@ func (e *Engine) Inventory() []ModuleInfo {
 // cycle if the engine has not yet processed events for it, otherwise at the
 // next cycle boundary; analytical modules should use delays >= 1.
 func (e *Engine) Schedule(delay uint64, fn func()) {
+	if e.preStaging {
+		// Parallel pre-phase (downstream drains): stage the event so its
+		// sequence number is assigned at the barrier, interleaved with the
+		// shard-staged events in exact serial order.
+		e.preStage = append(e.preStage, stagedEvent{idx: e.preIdx, delay: delay, fn: fn})
+		return
+	}
 	e.seq++
 	e.events.push(event{cycle: e.cycle + delay, seq: e.seq, fn: fn})
 }
@@ -404,6 +463,13 @@ func (e *Engine) Run(done func() bool, maxCycles uint64) (uint64, error) {
 func (e *Engine) RunCtx(ctx context.Context, done func() bool, maxCycles uint64) (uint64, error) {
 	if done() {
 		return e.cycle, nil
+	}
+	if e.nShards > 1 && e.pLo >= 0 {
+		if err := e.checkShardLayout(); err != nil {
+			return e.cycle, err
+		}
+		e.startWorkers()
+		defer e.stopWorkers()
 	}
 	var cancelCh <-chan struct{}
 	if ctx != nil {
@@ -472,11 +538,37 @@ func (e *Engine) RunCtx(ctx context.Context, done func() bool, maxCycles uint64)
 // to a downstream module, for instance) are ticked this same cycle when
 // their registration index has not been passed yet — the same visibility
 // the tick-everything engine provided.
+//
+// In parallel mode (SetParallel(n>1) with sharded registrations) the cycle
+// is instead split into serial head, concurrent shard passes, a
+// deterministic barrier and a serial tail; see tickSharded in parallel.go.
 func (e *Engine) tickActive() {
-	for e.tickPos = 0; e.tickPos < len(e.active); {
+	if e.nShards > 1 && e.pLo >= 0 {
+		e.tickSharded()
+		return
+	}
+	e.tickPos = 0
+	e.tickSerialRange(maxInt)
+	e.tickPos = -1
+}
+
+// tickSerialRange advances tickPos through the active list, ticking every
+// entry whose registration index is <= hi. It is the serial engine's whole
+// tick pass when hi is maxInt, and the head/tail phases of a sharded cycle
+// otherwise. PreTicker entries get their PreTick immediately before Tick,
+// which in serial mode is exactly where the drain used to live inside
+// Tick itself.
+func (e *Engine) tickSerialRange(hi int) {
+	for e.tickPos < len(e.active) {
 		idx := e.active[e.tickPos]
+		if idx > hi {
+			return
+		}
 		en := &e.entries[idx]
 		en.pending = false
+		if en.pre != nil {
+			en.pre.PreTick(e.cycle)
+		}
 		en.t.Tick(e.cycle)
 		if en.wakeAware {
 			nowBusy := en.t.Busy()
@@ -496,7 +588,6 @@ func (e *Engine) tickActive() {
 		}
 		e.tickPos++
 	}
-	e.tickPos = -1
 }
 
 // anyBusy reports whether any ticker still has per-cycle work: an O(1)

@@ -1,0 +1,529 @@
+// Sharded (intra-simulation) parallel execution.
+//
+// SetParallel(n) splits the cycle-accurate tickers into n shards plus the
+// implicit serial shard. Shard-private modules (an SM and its L1/i-cache)
+// are registered with RegisterSharded and tick concurrently on a bounded
+// worker pool; shared modules (block scheduler, NoC, L2, DRAM) stay on
+// plain Register and tick on the coordinator goroutine. Each simulated
+// cycle runs as:
+//
+//  1. serial head — active entries registered before the shard range
+//     (the block scheduler), exactly as in serial mode;
+//  2. pre-phase — every active sharded entry's PreTick (its downstream
+//     drain) runs serially on the coordinator in registration order, so
+//     pushes into the shared NoC/L2 happen in the serial engine's order;
+//  3. shard passes — each shard with active entries ticks them in
+//     registration order on its worker. All cross-shard side effects
+//     (Schedule, Defer, wakes of serial entries) are staged into
+//     per-shard queues instead of being applied;
+//  4. barrier — the coordinator rebuilds the active segment in
+//     registration order, folds the shards' busy deltas, and flushes the
+//     staged queues in ascending (registration index, phase) order. This
+//     reproduces the serial engine's event sequence numbers exactly,
+//     which is what makes metrics byte-identical at any thread count;
+//  5. serial tail — active entries registered after the shard range
+//     (NoC, L2, DRAM), exactly as in serial mode.
+//
+// Wakes *within* a shard during phase 3 are applied locally with the same
+// same-cycle visibility rule the serial active list uses. Wakes of a
+// sharded entry from the serial phases go through the normal activate
+// path. Modules must not wake another shard's entries from a shard tick —
+// cross-shard interaction is only legal through Schedule/Defer (the
+// standard assemblies interact across shards exclusively through memory
+// ports and the block scheduler, which already obey this).
+package engine
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+)
+
+const maxInt = int(^uint(0) >> 1)
+
+// Context is the part of the engine a shard-private module is allowed to
+// touch. *Engine implements it (serial mode); shardCtx implements it with
+// staging during a parallel shard pass. Modules that may be sharded hold a
+// Context instead of a *Engine.
+type Context interface {
+	// Cycle returns the current simulated cycle (frozen during a pass).
+	Cycle() uint64
+	// TickedCycles returns the number of simulated (ticked) cycles.
+	TickedCycles() uint64
+	// Schedule runs fn after delay cycles. During a parallel shard pass
+	// the event is staged and enqueued at the barrier in deterministic
+	// order.
+	Schedule(delay uint64, fn func())
+	// Defer runs fn immediately in serial mode, and at the barrier (in
+	// registration order of the staging module) during a parallel shard
+	// pass. Use it for side effects that escape the shard: completion
+	// notifications, trace emits whose arguments are already computed.
+	Defer(fn func())
+}
+
+// Defer on the engine itself runs fn immediately: in serial mode there is
+// nothing to stage.
+func (e *Engine) Defer(fn func()) { fn() }
+
+// PreTicker is a Ticker whose per-cycle work starts by pushing into a
+// downstream shared module (a cache draining its miss queue into the NoC).
+// The engine runs PreTick immediately before Tick in serial mode; in
+// parallel mode PreTick is hoisted into the serial pre-phase so the shared
+// module sees pushes in registration order, not worker-interleaved order.
+type PreTicker interface {
+	PreTick(cycle uint64)
+}
+
+// stagedEvent is a Schedule call captured during a parallel phase, tagged
+// with the registration index of the module that issued it so the barrier
+// can replay the serial engine's sequence numbering.
+type stagedEvent struct {
+	idx   int
+	delay uint64
+	fn    func()
+}
+
+// stagedCall is a Defer call captured during a shard pass.
+type stagedCall struct {
+	idx int
+	fn  func()
+}
+
+// shardCtx is one shard's staging context and pass state. During a pass
+// (staging == true) it is touched only by its worker goroutine; outside a
+// pass only by the coordinator.
+type shardCtx struct {
+	e     *Engine
+	shard int
+
+	// staging is set by the coordinator around phase 3. While set,
+	// Schedule/Defer/wakes stage instead of applying.
+	staging bool
+
+	// pass state: list is the shard's active entries this cycle (ascending
+	// registration index), lpos the cursor, current the index being ticked.
+	list    []int
+	lpos    int
+	current int
+
+	// staged side effects, merged at the barrier.
+	events    []stagedEvent
+	defers    []stagedCall
+	dpos      int
+	busyDelta int
+
+	// worker plumbing.
+	work       chan struct{}
+	panicVal   any
+	panicStack []byte
+}
+
+func (sc *shardCtx) Cycle() uint64        { return sc.e.cycle }
+func (sc *shardCtx) TickedCycles() uint64 { return sc.e.tickedCycles }
+
+func (sc *shardCtx) Schedule(delay uint64, fn func()) {
+	if sc.staging {
+		sc.events = append(sc.events, stagedEvent{idx: sc.current, delay: delay, fn: fn})
+		return
+	}
+	sc.e.Schedule(delay, fn)
+}
+
+func (sc *shardCtx) Defer(fn func()) {
+	if sc.staging {
+		sc.defers = append(sc.defers, stagedCall{idx: sc.current, fn: fn})
+		return
+	}
+	fn()
+}
+
+// wakeLocal is activate's shard-pass twin: same pending/active/Busy-poll
+// semantics, but the insertion targets the shard's pass list and the busy
+// transition lands in the shard's delta. Visibility matches the serial
+// rule — an entry woken after its registration index has been passed is
+// ticked next cycle.
+func (sc *shardCtx) wakeLocal(idx int, en *tickerEntry) {
+	en.pending = true
+	if en.active {
+		return
+	}
+	en.active = true
+	if idx > sc.current {
+		tail := sc.list[sc.lpos+1:]
+		pos := sc.lpos + 1 + sort.SearchInts(tail, idx)
+		sc.list = append(sc.list, 0)
+		copy(sc.list[pos+1:], sc.list[pos:])
+		sc.list[pos] = idx
+	}
+	if en.t.Busy() && !en.busy {
+		en.busy = true
+		sc.busyDelta++
+	}
+}
+
+// runPass ticks the shard's active entries in registration order,
+// mirroring tickSerialRange: clear pending, Tick, re-poll Busy. Entries
+// that go idle are only flagged (active = false); the coordinator rebuilds
+// the global active list at the barrier.
+func (sc *shardCtx) runPass() {
+	e := sc.e
+	for sc.lpos = 0; sc.lpos < len(sc.list); sc.lpos++ {
+		idx := sc.list[sc.lpos]
+		sc.current = idx
+		en := &e.entries[idx]
+		en.pending = false
+		en.t.Tick(e.cycle)
+		nowBusy := en.t.Busy()
+		if nowBusy != en.busy {
+			en.busy = nowBusy
+			if nowBusy {
+				sc.busyDelta++
+			} else {
+				sc.busyDelta--
+			}
+		}
+		if !nowBusy && !en.pending {
+			en.active = false
+		}
+	}
+	sc.current = -1
+}
+
+// safePass runs the pass with panic isolation: a panicking module must not
+// kill the worker goroutine (and with it the whole process) — the
+// coordinator re-raises it as a *ShardPanic after the barrier.
+func (sc *shardCtx) safePass() {
+	defer func() {
+		if r := recover(); r != nil {
+			sc.panicVal = r
+			sc.panicStack = debug.Stack()
+		}
+	}()
+	sc.runPass()
+}
+
+// workerLoop takes the channel by value: stopWorkers replaces sc.work with
+// a fresh channel for the next run, and the retiring worker must not read
+// the field concurrently with that write.
+func (sc *shardCtx) workerLoop(work chan struct{}) {
+	for range work {
+		sc.safePass()
+		sc.e.workerWG.Done()
+	}
+}
+
+// ShardPanic wraps a panic raised inside a shard worker so the usual
+// sim-goroutine recovery (runner panic isolation) sees a single structured
+// value with the original stack attached.
+type ShardPanic struct {
+	Shard int
+	Value any
+	Stack []byte
+}
+
+func (p *ShardPanic) Error() string {
+	return fmt.Sprintf("engine: panic in shard %d: %v", p.Shard, p.Value)
+}
+
+// SetParallel configures n execution shards. Call before registering
+// sharded tickers; n <= 1 leaves the engine fully serial. The assembly
+// decides the shard count (typically min(EngineThreads, NumSMs)).
+func (e *Engine) SetParallel(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.nShards = n
+	e.shards = make([]*shardCtx, n)
+	for s := range e.shards {
+		e.shards[s] = &shardCtx{e: e, shard: s, current: -1, work: make(chan struct{}, 1)}
+	}
+}
+
+// Shards returns the configured shard count (0 = SetParallel never called).
+func (e *Engine) Shards() int { return e.nShards }
+
+// ShardContext returns shard s's Context. Modules registered into shard s
+// must use it (not the engine) for Schedule/Defer so their side effects
+// stage correctly during parallel passes.
+func (e *Engine) ShardContext(s int) Context { return e.shards[s] }
+
+// RegisterSharded adds a shard-private cycle-accurate ticker to shard. The
+// ticker must be WakeAware (the pass lists are built from the active set)
+// and all sharded tickers must occupy a contiguous registration range —
+// serial modules register either before every sharded one (schedulers) or
+// after (NoC, L2, DRAM); RunCtx validates this once.
+func (e *Engine) RegisterSharded(t Ticker, shard int) {
+	if e.nShards < 1 || shard < 0 || shard >= e.nShards {
+		panic(fmt.Sprintf("engine: RegisterSharded(%q): shard %d out of range [0,%d)", t.Name(), shard, e.nShards))
+	}
+	wa, ok := t.(WakeAware)
+	if !ok {
+		panic(fmt.Sprintf("engine: RegisterSharded(%q): sharded tickers must be WakeAware", t.Name()))
+	}
+	idx := len(e.entries)
+	en := tickerEntry{t: t, wakeAware: true, shard: shard, sctx: e.shards[shard]}
+	en.pre, _ = t.(PreTicker)
+	e.entries = append(e.entries, en)
+	e.modules = append(e.modules, t)
+	if e.pLo < 0 || idx < e.pLo {
+		e.pLo = idx
+	}
+	if idx > e.pHi {
+		e.pHi = idx
+	}
+	wa.SetWake(func() { e.wakeEntry(idx) })
+	e.activate(idx)
+}
+
+// wakeEntry routes a sharded entry's wake to the right mechanism: during
+// a parallel shard pass, the entry is woken locally inside its own shard
+// (the only legal waker at that point is the shard itself); everywhere
+// else — event phase, PreTick drains, barrier flushes, serial head/tail —
+// the normal activate path applies. Serial entries bypass this and wake
+// through activate directly (see Register).
+func (e *Engine) wakeEntry(idx int) {
+	en := &e.entries[idx]
+	if sc := en.sctx; sc.staging {
+		sc.wakeLocal(idx, en)
+		return
+	}
+	e.activate(idx)
+}
+
+// checkShardLayout verifies (once) that the sharded registration range
+// [pLo, pHi] contains no serial entries, which the head/segment/tail split
+// of tickSharded depends on.
+func (e *Engine) checkShardLayout() error {
+	if e.shardsChecked {
+		return nil
+	}
+	for idx := e.pLo; idx <= e.pHi; idx++ {
+		if e.entries[idx].sctx == nil {
+			return fmt.Errorf("engine: parallel mode requires contiguous sharded registration: ticker %d (%s) inside shard range [%d,%d] is serial",
+				idx, e.entries[idx].t.Name(), e.pLo, e.pHi)
+		}
+	}
+	e.shardsChecked = true
+	return nil
+}
+
+func (e *Engine) startWorkers() {
+	if e.workersUp {
+		return
+	}
+	e.workersUp = true
+	for _, sc := range e.shards {
+		go sc.workerLoop(sc.work)
+	}
+}
+
+func (e *Engine) stopWorkers() {
+	if !e.workersUp {
+		return
+	}
+	e.workersUp = false
+	for _, sc := range e.shards {
+		close(sc.work)
+		// Fresh channel so a later RunCtx (next kernel) can restart.
+		sc.work = make(chan struct{}, 1)
+	}
+}
+
+// tickSharded is one simulated cycle in parallel mode; see the package
+// comment at the top of this file for the five phases.
+func (e *Engine) tickSharded() {
+	// Phase 1: serial head.
+	e.tickPos = 0
+	e.tickSerialRange(e.pLo - 1)
+	segStart := e.tickPos
+
+	// Phase 2: snapshot the active sharded segment, then run the drains
+	// (PreTick) serially in registration order. Schedule calls made by the
+	// drained-into modules (an analytical L2 backend computing a fill
+	// latency) are staged into preStage tagged with the draining entry's
+	// index, so the barrier can interleave them with the shard-staged
+	// events exactly as the serial engine would have.
+	seg := e.segScratch[:0]
+	for pos := segStart; pos < len(e.active); pos++ {
+		idx := e.active[pos]
+		if idx > e.pHi {
+			break
+		}
+		seg = append(seg, idx)
+	}
+	e.segScratch = seg
+	if len(seg) > 0 {
+		e.preStaging = true
+		for _, idx := range seg {
+			en := &e.entries[idx]
+			if en.pre != nil {
+				e.preIdx = idx
+				en.pre.PreTick(e.cycle)
+			}
+			sc := en.sctx
+			sc.list = append(sc.list, idx)
+		}
+		e.preStaging = false
+
+		// Phase 3: tick the shards. With a single shard holding work (or
+		// workers not yet started) the pass runs inline on the coordinator
+		// — still staged, so semantics are identical to the worker path.
+		nWork := 0
+		for _, sc := range e.shards {
+			if len(sc.list) > 0 {
+				nWork++
+			}
+		}
+		if nWork == 1 || !e.workersUp {
+			for _, sc := range e.shards {
+				if len(sc.list) > 0 {
+					sc.staging = true
+					sc.safePass()
+					sc.staging = false
+				}
+			}
+		} else {
+			for _, sc := range e.shards {
+				if len(sc.list) > 0 {
+					sc.staging = true
+				}
+			}
+			e.workerWG.Add(nWork)
+			for _, sc := range e.shards {
+				if len(sc.list) > 0 {
+					sc.work <- struct{}{}
+				}
+			}
+			e.workerWG.Wait()
+			for _, sc := range e.shards {
+				sc.staging = false
+			}
+		}
+		for _, sc := range e.shards {
+			if sc.panicVal != nil {
+				v, st := sc.panicVal, sc.panicStack
+				sc.panicVal, sc.panicStack = nil, nil
+				panic(&ShardPanic{Shard: sc.shard, Value: v, Stack: st})
+			}
+		}
+
+		// Phase 4: barrier. Rebuild the active segment in registration
+		// order from the entries' active flags, fold busy deltas, then
+		// flush staged events and defers in ascending (index, phase)
+		// order — reproducing the serial engine's sequence numbers.
+		segEnd := segStart
+		for segEnd < len(e.active) && e.active[segEnd] <= e.pHi {
+			segEnd++
+		}
+		seg = seg[:0]
+		for idx := e.pLo; idx <= e.pHi; idx++ {
+			if e.entries[idx].active {
+				seg = append(seg, idx)
+			}
+		}
+		e.segScratch = seg
+		na := e.activeScratch[:0]
+		na = append(na, e.active[:segStart]...)
+		na = append(na, seg...)
+		na = append(na, e.active[segEnd:]...)
+		e.activeScratch, e.active = e.active, na
+		e.tickPos = segStart + len(seg)
+
+		for _, sc := range e.shards {
+			e.busyCount += sc.busyDelta
+			sc.busyDelta = 0
+			sc.list = sc.list[:0]
+		}
+		e.flushStagedEvents()
+		e.flushStagedDefers()
+	}
+
+	// Phase 5: serial tail.
+	e.tickSerialRange(maxInt)
+	e.tickPos = -1
+}
+
+// flushStagedEvents merges preStage (phase 0: drain-time events) and the
+// per-shard event queues (phase 1: tick-time events) by ascending
+// (registration index, phase), assigning sequence numbers as it goes. Each
+// source queue is already sorted by index (passes run in registration
+// order), so this is a k-way merge over k = nShards+1 cursors. The
+// resulting (cycle, seq) order is exactly what a serial pass — drain then
+// tick, entry by entry — would have produced.
+func (e *Engine) flushStagedEvents() {
+	nSrc := len(e.shards) + 1
+	if cap(e.mergeCur) < nSrc {
+		e.mergeCur = make([]int, nSrc)
+	}
+	cur := e.mergeCur[:nSrc]
+	for i := range cur {
+		cur[i] = 0
+	}
+	for {
+		best := -1
+		bestKey := 0
+		if cur[0] < len(e.preStage) {
+			best = 0
+			bestKey = e.preStage[cur[0]].idx << 1
+		}
+		for s, sc := range e.shards {
+			if c := cur[s+1]; c < len(sc.events) {
+				if k := sc.events[c].idx<<1 | 1; best == -1 || k < bestKey {
+					best = s + 1
+					bestKey = k
+				}
+			}
+		}
+		if best == -1 {
+			break
+		}
+		var ev stagedEvent
+		if best == 0 {
+			ev = e.preStage[cur[0]]
+			e.preStage[cur[0]].fn = nil
+		} else {
+			sc := e.shards[best-1]
+			ev = sc.events[cur[best]]
+			sc.events[cur[best]].fn = nil
+		}
+		cur[best]++
+		e.seq++
+		e.events.push(event{cycle: e.cycle + ev.delay, seq: e.seq, fn: ev.fn})
+	}
+	e.preStage = e.preStage[:0]
+	for _, sc := range e.shards {
+		sc.events = sc.events[:0]
+	}
+}
+
+// flushStagedDefers runs the staged Defer calls in ascending registration
+// index of their staging module (FIFO within a module) — again the serial
+// execution order. The calls run with staging off, so anything they do
+// (wake the block scheduler, emit a trace event, schedule) applies
+// directly on the coordinator.
+func (e *Engine) flushStagedDefers() {
+	for {
+		best := -1
+		bestIdx := 0
+		for s, sc := range e.shards {
+			if sc.dpos < len(sc.defers) {
+				if i := sc.defers[sc.dpos].idx; best == -1 || i < bestIdx {
+					best = s
+					bestIdx = i
+				}
+			}
+		}
+		if best == -1 {
+			break
+		}
+		sc := e.shards[best]
+		fn := sc.defers[sc.dpos].fn
+		sc.defers[sc.dpos].fn = nil
+		sc.dpos++
+		fn()
+	}
+	for _, sc := range e.shards {
+		sc.defers = sc.defers[:0]
+		sc.dpos = 0
+	}
+}

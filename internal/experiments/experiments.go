@@ -39,6 +39,11 @@ type Params struct {
 	// Threads is the worker count for the parallel phase of Figure 5
 	// (0 = NumCPU).
 	Threads int
+	// EngineThreads shards each simulation's SMs across that many engine
+	// workers (deterministic; results are byte-identical to serial). The
+	// parallel phase of Figure 5 divides its job pool by this, keeping the
+	// total thread budget at Threads. 0 or 1 runs each simulation serially.
+	EngineThreads int
 	// HW holds the golden-model coefficients (zero value = defaults).
 	HW hwmodel.Params
 	// Ctx cancels the whole experiment (nil = context.Background).
@@ -338,7 +343,10 @@ func Figure5(p Params) (*Fig5Result, error) {
 	// failures are recorded, not fatal).
 	suiteWall := func(kind sim.Kind, threads int) (time.Duration, error) {
 		start := time.Now()
-		outs := runner.Run(mkJobs(kind), threads, runner.Options{Ctx: p.Ctx, JobTimeout: p.JobTimeout, Trace: p.Trace})
+		outs := runner.Run(mkJobs(kind), threads, runner.Options{
+			Ctx: p.Ctx, JobTimeout: p.JobTimeout, Trace: p.Trace,
+			EngineThreads: p.EngineThreads,
+		})
 		for i, o := range outs {
 			if o.Err != nil {
 				res.Failed = append(res.Failed, Failure{

@@ -16,6 +16,7 @@ import (
 type JSONStream struct {
 	mu     sync.Mutex
 	w      *bufio.Writer
+	buf    []byte    // reusable per-event encode buffer (guarded by mu)
 	closer io.Closer // closes the underlying file, if any
 	opened bool      // '[' written
 	first  bool      // next event is the first (no leading comma)
@@ -23,8 +24,9 @@ type JSONStream struct {
 	err    error
 }
 
-// NewJSONStream returns a JSONStream writing to w. If w is an io.Closer
-// (a file), Close closes it after terminating the array.
+// NewJSONStream returns a JSONStream writing to w. The stream buffers
+// through a bufio.Writer, flushed by Flush and on Close. If w is an
+// io.Closer (a file), Close closes it after terminating the array.
 func NewJSONStream(w io.Writer) *JSONStream {
 	s := &JSONStream{w: bufio.NewWriterSize(w, 1<<16), first: true}
 	if c, ok := w.(io.Closer); ok {
@@ -34,25 +36,31 @@ func NewJSONStream(w io.Writer) *JSONStream {
 }
 
 // Record implements Recorder. Encoding is hand-rolled: the event schema is
-// fixed and flat, and strconv.AppendX into the bufio buffer avoids
-// encoding/json's reflection on what can be a very hot path at
-// RequestLevel.
+// fixed and flat, and strconv.AppendX into a reusable scratch buffer
+// avoids encoding/json's reflection on what can be a very hot path at
+// RequestLevel. Each event is encoded into the scratch buffer and handed
+// to the buffered writer in one Write, keeping the critical section short
+// when many goroutines (parallel sweeps, engine shard barriers) share the
+// recorder.
 func (s *JSONStream) Record(ev *Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed || s.err != nil {
 		return
 	}
+	b := s.buf[:0]
 	if !s.opened {
 		s.opened = true
-		s.w.WriteString("[\n")
+		b = append(b, "[\n"...)
 	}
 	if s.first {
 		s.first = false
 	} else {
-		s.w.WriteString(",\n")
+		b = append(b, ",\n"...)
 	}
-	s.writeEvent(ev)
+	b = appendEvent(b, ev)
+	s.buf = b
+	s.w.Write(b)
 }
 
 // Flush implements Recorder.
@@ -94,13 +102,8 @@ func (s *JSONStream) Close() error {
 	return s.err
 }
 
-// writeEvent encodes one event. Caller holds s.mu.
-func (s *JSONStream) writeEvent(ev *Event) {
-	w := s.w
-	var num [20]byte
-	writeU := func(v uint64) { w.Write(strconv.AppendUint(num[:0], v, 10)) }
-	writeI := func(v int64) { w.Write(strconv.AppendInt(num[:0], v, 10)) }
-
+// appendEvent encodes one event onto b and returns the extended buffer.
+func appendEvent(b []byte, ev *Event) []byte {
 	// For metadata events the trace format puts the metadata *kind*
 	// ("thread_name") in the top-level name and the label in args.name;
 	// Event stores the kind in Cat and the label in Name, so swap here.
@@ -108,78 +111,73 @@ func (s *JSONStream) writeEvent(ev *Event) {
 	if ev.Ph == PhaseMeta {
 		name = ev.Cat
 	}
-	w.WriteString(`{"name":`)
-	writeJSONString(w, name)
-	w.WriteString(`,"ph":"`)
-	w.WriteByte(ev.Ph)
-	w.WriteString(`","pid":`)
-	writeI(int64(ev.Pid))
-	w.WriteString(`,"tid":`)
-	writeI(int64(ev.Tid))
+	b = append(b, `{"name":`...)
+	b = appendJSONString(b, name)
+	b = append(b, `,"ph":"`...)
+	b = append(b, ev.Ph)
+	b = append(b, `","pid":`...)
+	b = strconv.AppendInt(b, int64(ev.Pid), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(ev.Tid), 10)
 	switch ev.Ph {
 	case PhaseMeta:
-		w.WriteString(`,"args":{"name":`)
-		writeJSONString(w, ev.Name)
-		w.WriteString(`}}`)
-		return
+		b = append(b, `,"args":{"name":`...)
+		b = appendJSONString(b, ev.Name)
+		return append(b, `}}`...)
 	case PhaseCounter:
-		w.WriteString(`,"cat":`)
-		writeJSONString(w, ev.Cat)
-		w.WriteString(`,"ts":`)
-		writeU(ev.Ts)
-		w.WriteString(`,"args":{`)
-		writeJSONString(w, ev.Arg1Name)
-		w.WriteString(`:`)
-		writeU(ev.Arg1)
-		w.WriteString(`}}`)
-		return
+		b = append(b, `,"cat":`...)
+		b = appendJSONString(b, ev.Cat)
+		b = append(b, `,"ts":`...)
+		b = strconv.AppendUint(b, ev.Ts, 10)
+		b = append(b, `,"args":{`...)
+		b = appendJSONString(b, ev.Arg1Name)
+		b = append(b, ':')
+		b = strconv.AppendUint(b, ev.Arg1, 10)
+		return append(b, `}}`...)
 	}
-	w.WriteString(`,"cat":`)
-	writeJSONString(w, ev.Cat)
-	w.WriteString(`,"ts":`)
-	writeU(ev.Ts)
+	b = append(b, `,"cat":`...)
+	b = appendJSONString(b, ev.Cat)
+	b = append(b, `,"ts":`...)
+	b = strconv.AppendUint(b, ev.Ts, 10)
 	if ev.Ph == PhaseSpan {
-		w.WriteString(`,"dur":`)
-		writeU(ev.Dur)
+		b = append(b, `,"dur":`...)
+		b = strconv.AppendUint(b, ev.Dur, 10)
 	}
 	if ev.Ph == PhaseInstant {
-		w.WriteString(`,"s":"t"`)
+		b = append(b, `,"s":"t"`...)
 	}
 	if ev.Arg1Name != "" {
-		w.WriteString(`,"args":{`)
-		writeJSONString(w, ev.Arg1Name)
-		w.WriteString(`:`)
-		writeU(ev.Arg1)
+		b = append(b, `,"args":{`...)
+		b = appendJSONString(b, ev.Arg1Name)
+		b = append(b, ':')
+		b = strconv.AppendUint(b, ev.Arg1, 10)
 		if ev.Arg2Name != "" {
-			w.WriteString(`,`)
-			writeJSONString(w, ev.Arg2Name)
-			w.WriteString(`:`)
-			writeU(ev.Arg2)
+			b = append(b, ',')
+			b = appendJSONString(b, ev.Arg2Name)
+			b = append(b, ':')
+			b = strconv.AppendUint(b, ev.Arg2, 10)
 		}
-		w.WriteString(`}`)
+		b = append(b, '}')
 	}
-	w.WriteString(`}`)
+	return append(b, '}')
 }
 
-// writeJSONString writes s as a JSON string. Event names and categories
+// appendJSONString appends s as a JSON string. Event names and categories
 // are simulator-chosen identifiers (module names, stall reasons), so the
 // escape path is cold but still correct for arbitrary input.
-func writeJSONString(w *bufio.Writer, s string) {
-	w.WriteByte('"')
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
 	for i := 0; i < len(s); i++ {
 		c := s[i]
 		switch {
 		case c == '"' || c == '\\':
-			w.WriteByte('\\')
-			w.WriteByte(c)
+			b = append(b, '\\', c)
 		case c < 0x20:
 			const hex = "0123456789abcdef"
-			w.WriteString(`\u00`)
-			w.WriteByte(hex[c>>4])
-			w.WriteByte(hex[c&0xf])
+			b = append(b, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
 		default:
-			w.WriteByte(c)
+			b = append(b, c)
 		}
 	}
-	w.WriteByte('"')
+	return append(b, '"')
 }

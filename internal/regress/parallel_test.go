@@ -1,0 +1,100 @@
+package regress
+
+import (
+	"bytes"
+	"os"
+	"runtime"
+	"testing"
+
+	"swiftsim/internal/sim"
+	"swiftsim/internal/workload"
+)
+
+// engineThreadValues is the EngineThreads sweep the intra-simulation
+// parallelism oracle runs: serial, two shards, and one shard per host CPU.
+func engineThreadValues() []int {
+	vals := []int{1, 2}
+	if n := runtime.NumCPU(); n != 1 && n != 2 {
+		vals = append(vals, n)
+	}
+	return vals
+}
+
+// TestGoldenCorpusEngineThreads re-runs the committed golden corpus at
+// every EngineThreads value and requires each case to stay byte-identical
+// to its fixture: intra-simulation parallelism must be invisible in the
+// metrics.
+func TestGoldenCorpusEngineThreads(t *testing.T) {
+	corpus := goldenCorpus(t)
+	for _, threads := range engineThreadValues() {
+		for _, cs := range corpus.Cases() {
+			cs := cs
+			cs.Opts.EngineThreads = threads
+			t.Run(cs.GPU.Name+"/"+cs.App, func(t *testing.T) {
+				res, err := cs.Run()
+				if err != nil {
+					t.Fatalf("simulation failed at EngineThreads=%d: %v", threads, err)
+				}
+				want, err := os.ReadFile(GoldenPath(cs.GPU.Name, cs.App))
+				if err != nil {
+					t.Fatalf("missing golden fixture: %v", err)
+				}
+				if got := Canonical(res); !bytes.Equal(want, got) {
+					t.Errorf("EngineThreads=%d drifted from the golden fixture:\n%s",
+						threads, DiffLines(want, got, 20))
+				}
+			})
+		}
+	}
+}
+
+// TestEngineThreadsCycleAccurateKinds is the sharp edge of the oracle: the
+// golden corpus is Swift-Sim-Memory (which always runs serially), so this
+// sweeps the configurations whose SMs/L1s actually tick on shards —
+// Detailed, Basic and L2Hybrid — and requires canonical metrics at every
+// EngineThreads value to match the serial run byte for byte.
+func TestEngineThreadsCycleAccurateKinds(t *testing.T) {
+	type cfg struct {
+		kind sim.Kind
+		apps []string
+	}
+	cases := []cfg{
+		{sim.Basic, []string{"BFS", "GEMM", "SM"}},
+		{sim.L2Hybrid, []string{"BFS", "GEMM"}},
+		{sim.Detailed, []string{"GEMM", "HOTSPOT"}},
+	}
+	if testing.Short() {
+		cases = []cfg{{sim.Basic, []string{"GEMM"}}, {sim.Detailed, []string{"GEMM"}}}
+	}
+	gpu := DefaultCorpus().GPUs[0]
+	for _, c := range cases {
+		for _, name := range c.apps {
+			app, err := workload.Generate(name, 0.25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := sim.Run(app, gpu, sim.Options{Kind: c.kind})
+			if err != nil {
+				t.Fatalf("%s/%s serial: %v", c.kind, name, err)
+			}
+			want := Canonical(base)
+			threadVals := []int{2, 3, 4}
+			if n := runtime.NumCPU(); n > 4 {
+				threadVals = append(threadVals, n)
+			}
+			if testing.Short() {
+				threadVals = threadVals[:2]
+			}
+			for _, threads := range threadVals {
+				res, err := sim.Run(app, gpu, sim.Options{Kind: c.kind, EngineThreads: threads})
+				if err != nil {
+					t.Fatalf("%s/%s EngineThreads=%d: %v", c.kind, name, threads, err)
+				}
+				if got := Canonical(res); !bytes.Equal(want, got) {
+					t.Errorf("%s/%s: EngineThreads=%d diverged from serial:\n%s",
+						c.kind, name, threads, DiffLines(want, got, 20))
+				}
+			}
+		}
+	}
+}

@@ -12,9 +12,22 @@
 //     Fenwick tree and classifies hits by capacity, the classical
 //     reuse-distance-theory approach (which, as the paper notes, is
 //     inherently LRU-only).
+//
+// Both profilers run in two phases so the L1 work parallelizes across
+// kernels without changing a single output bit. The L1 state (functional
+// caches or distance trackers) is reset at every kernel boundary — the
+// non-coherent L1 flush of real GPUs — so each kernel's L1 filtering is
+// independent and runs on its own worker; it yields per-PC L1 hit counts
+// plus the ordered list of accesses that escaped the L1. The shared L2
+// persists across kernels, so phase two replays those escape lists through
+// it serially in kernel order — the exact access sequence a serial run
+// produces.
 package reuse
 
 import (
+	"runtime"
+	"sync"
+
 	"swiftsim/internal/cache"
 	"swiftsim/internal/config"
 	"swiftsim/internal/smcore"
@@ -94,99 +107,183 @@ type access struct {
 // instruction by instruction, and per-lane addresses are coalesced exactly
 // as the LD/ST unit would.
 func stream(app *trace.App, gpu config.GPU, onKernel func(ki int), visit func(a access)) {
-	sectorBytes := gpu.L1.SectorBytes
-	for ki, k := range app.Kernels {
+	for ki := range app.Kernels {
 		if onKernel != nil {
 			onKernel(ki)
 		}
-		for bi := range k.Blocks {
-			sm := bi % gpu.NumSMs
-			warps := k.Blocks[bi].Warps
-			// Interleave warps instruction by instruction, the
-			// round-robin approximation of concurrent execution.
-			maxLen := 0
-			for _, w := range warps {
-				if len(w) > maxLen {
-					maxLen = len(w)
-				}
+		kernelStream(app, gpu, ki, visit)
+	}
+}
+
+// kernelStream visits one kernel's slice of the block-interleaved stream.
+func kernelStream(app *trace.App, gpu config.GPU, ki int, visit func(a access)) {
+	sectorBytes := gpu.L1.SectorBytes
+	k := app.Kernels[ki]
+	for bi := range k.Blocks {
+		sm := bi % gpu.NumSMs
+		warps := k.Blocks[bi].Warps
+		// Interleave warps instruction by instruction, the
+		// round-robin approximation of concurrent execution.
+		maxLen := 0
+		for _, w := range warps {
+			if len(w) > maxLen {
+				maxLen = len(w)
 			}
-			for i := 0; i < maxLen; i++ {
-				for _, w := range warps {
-					if i >= len(w) {
-						continue
-					}
-					in := &w[i]
-					if !in.Op.IsGlobalMem() {
-						continue
-					}
-					for _, s := range smcore.Coalesce(in.Addrs, sectorBytes) {
-						visit(access{
-							key:    Key{ki, in.PC},
-							sector: s,
-							sm:     sm,
-							write:  in.Op == trace.OpStoreGlobal,
-						})
-					}
+		}
+		for i := 0; i < maxLen; i++ {
+			for _, w := range warps {
+				if i >= len(w) {
+					continue
+				}
+				in := &w[i]
+				if !in.Op.IsGlobalMem() {
+					continue
+				}
+				for _, s := range smcore.Coalesce(in.Addrs, sectorBytes) {
+					visit(access{
+						key:    Key{ki, in.PC},
+						sector: s,
+						sm:     sm,
+						write:  in.Op == trace.OpStoreGlobal,
+					})
 				}
 			}
 		}
 	}
 }
 
+// l2Access is one access that escaped a kernel's L1 filter and must be
+// replayed through the shared L2 in phase two.
+type l2Access struct {
+	key    Key
+	sector uint64
+	write  bool
+}
+
+// kernelProfile is the phase-one result for one kernel: how many reads
+// each static instruction serviced from the per-SM L1s, and the ordered
+// L2-bound remainder of the kernel's stream.
+type kernelProfile struct {
+	l1Hits   map[Key]uint64
+	l2Bound  []l2Access
+	accesses uint64
+}
+
+// profileKernels runs phase one — the per-kernel L1 filtering — on a
+// worker pool bounded by GOMAXPROCS. filter(ki) must return a fresh
+// kernel-private predicate (it is called on the worker) reporting whether
+// an access is absorbed by an L1; stores are never absorbed.
+func profileKernels(app *trace.App, gpu config.GPU, filter func(ki int) func(a access) bool) []kernelProfile {
+	out := make([]kernelProfile, len(app.Kernels))
+	one := func(ki int) {
+		kp := kernelProfile{l1Hits: make(map[Key]uint64)}
+		absorb := filter(ki)
+		kernelStream(app, gpu, ki, func(a access) {
+			kp.accesses++
+			if !a.write && absorb(a) {
+				kp.l1Hits[a.key]++
+				return
+			}
+			kp.l2Bound = append(kp.l2Bound, l2Access{key: a.key, sector: a.sector, write: a.write})
+		})
+		out[ki] = kp
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(app.Kernels) {
+		workers = len(app.Kernels)
+	}
+	if workers <= 1 {
+		for ki := range app.Kernels {
+			one(ki)
+		}
+		return out
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ki := range next {
+				one(ki)
+			}
+		}()
+	}
+	for ki := range app.Kernels {
+		next <- ki
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// mergeProfile runs phase two: fold the per-kernel L1 hit counts and
+// replay every L2-bound access, in kernel order, through hitL2 (which
+// wraps the single shared L2 model). Because counter addition commutes and
+// the L2 sees the same access sequence a serial run produces, the profile
+// is byte-identical to the serial one.
+func mergeProfile(kps []kernelProfile, hitL2 func(a l2Access) bool) *Profile {
+	per := make(map[Key]*counts)
+	at := func(k Key) *counts {
+		c := per[k]
+		if c == nil {
+			c = &counts{}
+			per[k] = c
+		}
+		return c
+	}
+	var agg, aggReads counts
+	var accesses uint64
+	for _, kp := range kps {
+		accesses += kp.accesses
+		for k, n := range kp.l1Hits {
+			// L1 hits are always reads: the write-through no-allocate L1
+			// never absorbs stores.
+			at(k).l1 += n
+			agg.l1 += n
+			aggReads.l1 += n
+		}
+		for _, a := range kp.l2Bound {
+			c := at(a.key)
+			switch {
+			case hitL2(a):
+				c.l2++
+				agg.l2++
+				if !a.write {
+					aggReads.l2++
+				}
+			default:
+				c.dram++
+				agg.dram++
+				if !a.write {
+					aggReads.dram++
+				}
+			}
+		}
+	}
+	return buildProfile(per, agg, aggReads, accesses)
+}
+
 // ProfileApp extracts hit rates with functional sectored caches: one L1
 // per SM and one cache with the full L2 capacity, both using the
-// configured geometry and replacement policy.
+// configured geometry and replacement policy. The per-kernel L1 phase runs
+// on a worker pool (L1s are invalidated at kernel boundaries, exactly as
+// the timing simulators model the non-coherent L1 flush of real GPUs, so
+// kernels are L1-independent); the shared L2 is replayed serially.
 func ProfileApp(app *trace.App, gpu config.GPU) *Profile {
-	l1s := make([]*cache.Functional, gpu.NumSMs)
-	for i := range l1s {
-		l1s[i] = cache.NewFunctional(gpu.L1)
-	}
+	kps := profileKernels(app, gpu, func(int) func(a access) bool {
+		l1s := make([]*cache.Functional, gpu.NumSMs)
+		for i := range l1s {
+			l1s[i] = cache.NewFunctional(gpu.L1)
+		}
+		// Write-through no-allocate L1: stores never hit-allocate, and
+		// always propagate to the L2 (profileKernels never offers them).
+		return func(a access) bool { return l1s[a.sm].Access(a.sector, false) }
+	})
 	l2cfg := gpu.L2
 	l2cfg.Sets *= gpu.MemPartitions // aggregate capacity of all slices
 	l2 := cache.NewFunctional(l2cfg)
-
-	per := make(map[Key]*counts)
-	var agg, aggReads counts
-	var accesses uint64
-
-	// L1s are invalidated at kernel boundaries, exactly as the timing
-	// simulators model the non-coherent L1 flush of real GPUs.
-	onKernel := func(int) {
-		for _, l1 := range l1s {
-			l1.Reset()
-		}
-	}
-	stream(app, gpu, onKernel, func(a access) {
-		accesses++
-		c := per[a.key]
-		if c == nil {
-			c = &counts{}
-			per[a.key] = c
-		}
-		// Write-through no-allocate L1: stores never hit-allocate, and
-		// always propagate to the L2.
-		if !a.write && l1s[a.sm].Access(a.sector, false) {
-			c.l1++
-			agg.l1++
-			aggReads.l1++
-			return
-		}
-		if l2.Access(a.sector, a.write) {
-			c.l2++
-			agg.l2++
-			if !a.write {
-				aggReads.l2++
-			}
-			return
-		}
-		c.dram++
-		agg.dram++
-		if !a.write {
-			aggReads.dram++
-		}
-	})
-
-	return buildProfile(per, agg, aggReads, accesses)
+	return mergeProfile(kps, func(a l2Access) bool { return l2.Access(a.sector, a.write) })
 }
 
 // ProfileAppReuseDistance extracts hit rates from LRU stack distances: an
@@ -198,52 +295,15 @@ func ProfileAppReuseDistance(app *trace.App, gpu config.GPU) *Profile {
 	l1Cap := uint64(gpu.L1.Sets * gpu.L1.Ways * gpu.L1.SectorsPerLine())
 	l2Cap := uint64(gpu.L2.Sets*gpu.L2.Ways*gpu.L2.SectorsPerLine()) * uint64(gpu.MemPartitions)
 
-	l1 := make([]*distanceTracker, gpu.NumSMs)
-	for i := range l1 {
-		l1[i] = newDistanceTracker()
-	}
-	l2 := newDistanceTracker()
-
-	per := make(map[Key]*counts)
-	var agg, aggReads counts
-	var accesses uint64
-
-	onKernel := func(int) {
+	kps := profileKernels(app, gpu, func(int) func(a access) bool {
+		l1 := make([]*distanceTracker, gpu.NumSMs)
 		for i := range l1 {
 			l1[i] = newDistanceTracker()
 		}
-	}
-	stream(app, gpu, onKernel, func(a access) {
-		accesses++
-		c := per[a.key]
-		if c == nil {
-			c = &counts{}
-			per[a.key] = c
-		}
-		if !a.write {
-			if d := l1[a.sm].access(a.sector); d < l1Cap {
-				c.l1++
-				agg.l1++
-				aggReads.l1++
-				return
-			}
-		}
-		if d := l2.access(a.sector); d < l2Cap {
-			c.l2++
-			agg.l2++
-			if !a.write {
-				aggReads.l2++
-			}
-			return
-		}
-		c.dram++
-		agg.dram++
-		if !a.write {
-			aggReads.dram++
-		}
+		return func(a access) bool { return l1[a.sm].access(a.sector) < l1Cap }
 	})
-
-	return buildProfile(per, agg, aggReads, accesses)
+	l2 := newDistanceTracker()
+	return mergeProfile(kps, func(a l2Access) bool { return l2.access(a.sector) < l2Cap })
 }
 
 func buildProfile(per map[Key]*counts, agg, aggReads counts, accesses uint64) *Profile {

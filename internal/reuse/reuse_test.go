@@ -3,9 +3,11 @@ package reuse
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
+	"swiftsim/internal/cache"
 	"swiftsim/internal/config"
 	"swiftsim/internal/trace"
 	"swiftsim/internal/workload"
@@ -219,5 +221,97 @@ func TestStreamCoalesces(t *testing.T) {
 	stream(app, smallGPU(), nil, func(a access) { n++ })
 	if n != 1 {
 		t.Errorf("stream produced %d accesses, want 1 (coalesced broadcast)", n)
+	}
+}
+
+// serialProfile is the single-pass serial oracle for the two-phase
+// profilers: the whole stream through the L1 filter and the shared L2
+// model in order, exactly as the pre-parallel implementation did.
+func serialProfile(app *trace.App, gpu config.GPU,
+	newL1 func() func(a access) bool, hitL2 func(a l2Access) bool) *Profile {
+	per := make(map[Key]*counts)
+	var agg, aggReads counts
+	var accesses uint64
+	var absorb func(a access) bool
+	onKernel := func(int) { absorb = newL1() }
+	stream(app, gpu, onKernel, func(a access) {
+		accesses++
+		c := per[a.key]
+		if c == nil {
+			c = &counts{}
+			per[a.key] = c
+		}
+		if !a.write && absorb(a) {
+			c.l1++
+			agg.l1++
+			aggReads.l1++
+			return
+		}
+		if hitL2(l2Access{key: a.key, sector: a.sector, write: a.write}) {
+			c.l2++
+			agg.l2++
+			if !a.write {
+				aggReads.l2++
+			}
+			return
+		}
+		c.dram++
+		agg.dram++
+		if !a.write {
+			aggReads.dram++
+		}
+	})
+	return buildProfile(per, agg, aggReads, accesses)
+}
+
+// TestProfileParallelMatchesSerial: the two-phase (parallel-L1, serial-L2)
+// profilers must reproduce the serial single-pass profile bit for bit —
+// every per-PC rate, the aggregates, and the access count.
+func TestProfileParallelMatchesSerial(t *testing.T) {
+	gpu := smallGPU()
+	for _, name := range []string{"BFS", "LU", "PATHFINDER"} {
+		app, err := workload.Generate(name, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(app.Kernels) < 2 && name != "PATHFINDER" {
+			t.Fatalf("%s: want a multi-kernel app to exercise the shared L2 carry-over", name)
+		}
+
+		wantFunc := serialProfile(app, gpu,
+			func() func(a access) bool {
+				l1s := make([]*cache.Functional, gpu.NumSMs)
+				for i := range l1s {
+					l1s[i] = cache.NewFunctional(gpu.L1)
+				}
+				return func(a access) bool { return l1s[a.sm].Access(a.sector, false) }
+			},
+			func() func(a l2Access) bool {
+				l2cfg := gpu.L2
+				l2cfg.Sets *= gpu.MemPartitions
+				l2 := cache.NewFunctional(l2cfg)
+				return func(a l2Access) bool { return l2.Access(a.sector, a.write) }
+			}())
+		if got := ProfileApp(app, gpu); !reflect.DeepEqual(got, wantFunc) {
+			t.Errorf("%s: ProfileApp diverged from the serial oracle", name)
+		}
+
+		l1Cap := uint64(gpu.L1.Sets * gpu.L1.Ways * gpu.L1.SectorsPerLine())
+		l2Cap := uint64(gpu.L2.Sets*gpu.L2.Ways*gpu.L2.SectorsPerLine()) * uint64(gpu.MemPartitions)
+		wantRD := serialProfile(app, gpu,
+			func() func(a access) bool {
+				l1 := make([]*distanceTracker, gpu.NumSMs)
+				for i := range l1 {
+					l1[i] = newDistanceTracker()
+				}
+				return func(a access) bool { return l1[a.sm].access(a.sector) < l1Cap }
+			},
+			func() func(a l2Access) bool {
+				l2 := newDistanceTracker()
+				return func(a l2Access) bool { return l2.access(a.sector) < l2Cap }
+			}())
+		if got := ProfileAppReuseDistance(app, gpu); !reflect.DeepEqual(got, wantRD) {
+			t.Errorf("%s: ProfileAppReuseDistance diverged from the serial oracle", name)
+		}
 	}
 }

@@ -78,6 +78,14 @@ type Options struct {
 	// (pid 0, tid = worker, microseconds since sweep start) so parallel
 	// utilization is visible in the trace. nil records nothing.
 	Trace *obs.Tracer
+	// EngineThreads gives each simulation that many engine shards
+	// (intra-simulation parallelism; see engine.SetParallel) and shrinks
+	// the job-level worker pool to threads/EngineThreads so the sweep's
+	// total thread budget stays at `threads`. Few big jobs want a high
+	// EngineThreads; many small jobs want 1 (the default), where all
+	// parallelism goes to the job pool. Jobs whose sim.Options already set
+	// EngineThreads keep their own value.
+	EngineThreads int
 }
 
 // Progress describes one finished job of a sweep.
@@ -145,6 +153,15 @@ func Run(jobs []Job, threads int, opts Options) []Outcome {
 	if threads <= 0 {
 		threads = runtime.NumCPU()
 	}
+	// Split the thread budget between the two levels of parallelism: with
+	// EngineThreads shards inside each simulation, only threads/EngineThreads
+	// jobs run concurrently.
+	if opts.EngineThreads > 1 {
+		threads /= opts.EngineThreads
+		if threads < 1 {
+			threads = 1
+		}
+	}
 	if threads > len(jobs) {
 		threads = len(jobs)
 	}
@@ -187,7 +204,7 @@ func Run(jobs []Job, threads int, opts Options) []Outcome {
 	sweepStart := time.Now()
 	exec := func(worker, i int) Outcome {
 		jobStart := time.Since(sweepStart)
-		o := runJob(ctx, i, jobs[i], opts.JobTimeout, opts.Trace)
+		o := runJob(ctx, i, jobs[i], opts.JobTimeout, opts.Trace, opts.EngineThreads)
 		if opts.Trace.Enabled(obs.KernelLevel) {
 			failedArg := uint64(0)
 			if o.Err != nil {
@@ -235,9 +252,12 @@ func Run(jobs []Job, threads int, opts Options) []Outcome {
 // *JobError on the Outcome. With tracing on, the job's simulation records
 // into its own pid derived from the sweep tracer (j is a copy, so setting
 // its Opts.Trace never mutates the caller's Job slice).
-func runJob(ctx context.Context, i int, j Job, timeout time.Duration, tr *obs.Tracer) Outcome {
+func runJob(ctx context.Context, i int, j Job, timeout time.Duration, tr *obs.Tracer, engineThreads int) Outcome {
 	if tr != nil {
 		j.Opts.Trace = tr.WithPid(i + 1)
+	}
+	if engineThreads > 0 && j.Opts.EngineThreads == 0 {
+		j.Opts.EngineThreads = engineThreads
 	}
 	jobErr := func(cause error) *JobError {
 		return &JobError{JobIndex: i, App: jobApp(j), GPU: j.GPU.Name, Err: cause}

@@ -346,3 +346,43 @@ func TestSweepSurvivesOneBadTrace(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineThreadsBudgetSplit: a sweep with Options.EngineThreads gives
+// each simulation a sharded engine and divides the job pool accordingly —
+// and because the sharded engine is deterministic, every outcome stays
+// identical to the serial sweep's.
+func TestEngineThreadsBudgetSplit(t *testing.T) {
+	names := []string{"BFS", "GEMM", "SM", "LU"}
+	gpu := config.RTX2080Ti()
+	gpu.NumSMs = 4
+	gpu.MemPartitions = 2
+	var jobs []Job
+	for _, n := range names {
+		app, err := workload.Generate(n, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, Job{App: app, GPU: gpu, Opts: sim.Options{Kind: sim.Basic}})
+	}
+	base := RunAll(jobs, 4)
+	split := Run(jobs, 4, Options{EngineThreads: 2})
+	for i := range base {
+		if base[i].Err != nil || split[i].Err != nil {
+			t.Fatalf("job %d errors: %v / %v", i, base[i].Err, split[i].Err)
+		}
+		if base[i].Result.Cycles != split[i].Result.Cycles {
+			t.Errorf("%s: EngineThreads=2 cycles %d != serial %d",
+				names[i], split[i].Result.Cycles, base[i].Result.Cycles)
+		}
+	}
+	// A per-job EngineThreads wins over the sweep-wide one.
+	jobs[0].Opts.EngineThreads = 1
+	pin := Run(jobs[:1], 1, Options{EngineThreads: 4})
+	if pin[0].Err != nil {
+		t.Fatal(pin[0].Err)
+	}
+	if pin[0].Result.Cycles != base[0].Result.Cycles {
+		t.Errorf("per-job EngineThreads override diverged: %d != %d",
+			pin[0].Result.Cycles, base[0].Result.Cycles)
+	}
+}

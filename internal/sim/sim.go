@@ -101,6 +101,15 @@ type Options struct {
 	// (smcore.Picker) per sub-core in place of the configured built-in —
 	// the paper's new-scheduler exploration hook. Works with every Kind.
 	Scheduler func(smID, sub int) smcore.Picker
+	// EngineThreads is the intra-simulation parallelism degree: the number
+	// of engine shards SMs (with their private L1s and units) are ticked
+	// on concurrently, synchronized at a deterministic per-cycle barrier.
+	// 0 or 1 keeps the fully serial engine. The effective shard count is
+	// clamped to NumSMs, and the Memory configuration always runs serially
+	// (its analytical memory models share order-dependent bandwidth
+	// meters — and it has no per-SM cycle-accurate state worth sharding).
+	// Results are byte-identical at every value.
+	EngineThreads int
 	// SampleBlocks in (0,1) enables block-level sampled simulation in
 	// the spirit of the sampling work the paper cites as orthogonal:
 	// only the first ceil(fraction×blocks) blocks of each kernel are
@@ -157,6 +166,10 @@ type gpuAssembly struct {
 	l1s         []*cache.Timed
 	sms         []*smcore.SM
 	kernelIndex int
+	// drain folds the per-shard metric shadows into g (nil when serial).
+	// It runs before every probe sample and before the final snapshot, so
+	// observed counters are identical to a serial run's.
+	drain func()
 }
 
 // Run simulates app on gpu under opts and returns the result.
@@ -267,6 +280,9 @@ func RunCtx(ctx context.Context, app *trace.App, gpu config.GPU, opts Options) (
 		}
 	}
 
+	if a.drain != nil {
+		a.drain()
+	}
 	total := extrapolated + overhead
 	a.g.Set("gpu.cycles", total)
 	return &Result{
@@ -354,6 +370,38 @@ func assemble(gpu config.GPU, opts Options, prof *reuse.Profile) (*gpuAssembly, 
 	eng.SetTracer(opts.Trace)
 	traceModule := opts.Trace.Enabled(obs.ModuleLevel)
 
+	// Intra-simulation parallelism: SMs (and their private L1s/units) are
+	// distributed over nShards engine shards; the shared modules (block
+	// scheduler, NoC, L2, DRAM) stay serial. The Memory configuration has
+	// no shardable cycle-accurate state (and its analytical models share
+	// order-dependent bandwidth meters), so it always runs serially.
+	nShards := opts.EngineThreads
+	if nShards > gpu.NumSMs {
+		nShards = gpu.NumSMs
+	}
+	if nShards < 2 || opts.Kind == Memory {
+		nShards = 1
+	}
+	shardOf := func(smID int) int { return smID % nShards }
+	var shadows []*metrics.Gatherer
+	ctxFor := func(smID int) engine.Context { return eng }
+	gFor := func(smID int) *metrics.Gatherer { return g }
+	if nShards > 1 {
+		eng.SetParallel(nShards)
+		shadows = make([]*metrics.Gatherer, nShards)
+		for s := range shadows {
+			shadows[s] = metrics.New()
+		}
+		ctxFor = func(smID int) engine.Context { return eng.ShardContext(shardOf(smID)) }
+		gFor = func(smID int) *metrics.Gatherer { return shadows[shardOf(smID)] }
+		a.drain = func() {
+			for _, s := range shadows {
+				g.Absorb(s)
+			}
+		}
+		eng.SetPreSample(a.drain)
+	}
+
 	scale := opts.LatencyScale
 	smCfg := gpu.SM
 	if scale > 0 {
@@ -375,7 +423,7 @@ func assemble(gpu config.GPU, opts Options, prof *reuse.Profile) (*gpuAssembly, 
 		l1cfg.HitLatency = scaleLat(l1cfg.HitLatency, scale)
 		l1s := make([]*cache.Timed, gpu.NumSMs)
 		for i := range l1s {
-			l1s[i] = cache.NewTimed("l1", l1cfg, mem.LevelL1, eng, backend, g)
+			l1s[i] = cache.NewTimed("l1", l1cfg, mem.LevelL1, ctxFor(i), backend, gFor(i))
 			l1s[i].SetTracer(opts.Trace)
 		}
 		a.l1s = l1s
@@ -385,8 +433,12 @@ func assemble(gpu config.GPU, opts Options, prof *reuse.Profile) (*gpuAssembly, 
 			eng.AddProbe("l1_hit_permille", l1w.DeltaPermille)
 		}
 		defer func() {
-			for _, l1 := range l1s {
-				eng.Register(l1)
+			for i, l1 := range l1s {
+				if nShards > 1 {
+					eng.RegisterSharded(l1, shardOf(i))
+				} else {
+					eng.Register(l1)
+				}
 			}
 		}()
 	} else if opts.Kind != Memory {
@@ -453,7 +505,7 @@ func assemble(gpu config.GPU, opts Options, prof *reuse.Profile) (*gpuAssembly, 
 		l1cfg.HitLatency = scaleLat(l1cfg.HitLatency, scale)
 		l1s := make([]*cache.Timed, gpu.NumSMs)
 		for i := range l1s {
-			l1s[i] = cache.NewTimed("l1", l1cfg, mem.LevelL1, eng, interconnect, g)
+			l1s[i] = cache.NewTimed("l1", l1cfg, mem.LevelL1, ctxFor(i), interconnect, gFor(i))
 			l1s[i].SetTracer(opts.Trace)
 		}
 		a.l1s = l1s
@@ -475,10 +527,16 @@ func assemble(gpu config.GPU, opts Options, prof *reuse.Profile) (*gpuAssembly, 
 		}
 
 		// Build SMs below, then register memory modules after them so
-		// issue happens before same-cycle memory processing.
+		// issue happens before same-cycle memory processing. The sharded
+		// entries (SMs, then L1s) form a contiguous registration range;
+		// the shared interconnect/L2/DRAM stay serial after it.
 		defer func() {
-			for _, l1 := range l1s {
-				eng.Register(l1)
+			for i, l1 := range l1s {
+				if nShards > 1 {
+					eng.RegisterSharded(l1, shardOf(i))
+				} else {
+					eng.Register(l1)
+				}
 			}
 			eng.Register(interconnect)
 			for _, l2 := range l2s {
@@ -490,15 +548,54 @@ func assemble(gpu config.GPU, opts Options, prof *reuse.Profile) (*gpuAssembly, 
 		}()
 	}
 
-	// Execution units per configuration.
+	// Execution units per configuration. In parallel mode each shard gets
+	// its own provider instance bound to its shard context and metric
+	// shadow; an SM's shard assignment is fixed, so intra-SM unit sharing
+	// (the DP:0.5x pairs) is unaffected by the delegation.
 	var units smcore.UnitSet
 	switch opts.Kind {
 	case Detailed:
-		units = smcore.NewCycleAccurateUnits(smCfg, eng, g, gpu.L1.SectorBytes, l1For)
+		if nShards > 1 {
+			sets := make([]smcore.UnitSet, nShards)
+			for s := range sets {
+				sets[s] = smcore.NewCycleAccurateUnits(smCfg, eng.ShardContext(s), shadows[s], gpu.L1.SectorBytes, l1For)
+			}
+			units = smcore.UnitSet{
+				ALU: func(smID, sub int, class trace.OpClass) smcore.Unit {
+					return sets[shardOf(smID)].ALU(smID, sub, class)
+				},
+				LDST: func(smID, sub int) smcore.Unit {
+					return sets[shardOf(smID)].LDST(smID, sub)
+				},
+				ICache: func(smID, sub int) *smcore.ICache {
+					return sets[shardOf(smID)].ICache(smID, sub)
+				},
+				ModelFrontEnd: true,
+			}
+		} else {
+			units = smcore.NewCycleAccurateUnits(smCfg, eng, g, gpu.L1.SectorBytes, l1For)
+		}
 	case Basic, L2Hybrid:
-		units = smcore.UnitSet{
-			ALU:  analyticalALUs(smCfg, eng, g),
-			LDST: smcore.NewCycleAccurateUnits(smCfg, eng, g, gpu.L1.SectorBytes, l1For).LDST,
+		if nShards > 1 {
+			alus := make([]func(smID, sub int, class trace.OpClass) smcore.Unit, nShards)
+			ldsts := make([]func(smID, sub int) smcore.Unit, nShards)
+			for s := range alus {
+				alus[s] = analyticalALUs(smCfg, eng, eng.ShardContext(s), shadows[s])
+				ldsts[s] = smcore.NewCycleAccurateUnits(smCfg, eng.ShardContext(s), shadows[s], gpu.L1.SectorBytes, l1For).LDST
+			}
+			units = smcore.UnitSet{
+				ALU: func(smID, sub int, class trace.OpClass) smcore.Unit {
+					return alus[shardOf(smID)](smID, sub, class)
+				},
+				LDST: func(smID, sub int) smcore.Unit {
+					return ldsts[shardOf(smID)](smID, sub)
+				},
+			}
+		} else {
+			units = smcore.UnitSet{
+				ALU:  analyticalALUs(smCfg, eng, eng, g),
+				LDST: smcore.NewCycleAccurateUnits(smCfg, eng, g, gpu.L1.SectorBytes, l1For).LDST,
+			}
 		}
 	case Memory:
 		// Eq. 1's level latencies are end-to-end from the core: an L2
@@ -529,7 +626,7 @@ func assemble(gpu config.GPU, opts Options, prof *reuse.Profile) (*gpuAssembly, 
 		}
 		mshrMeters := make(map[int]*analytic.BandwidthMeter)
 		units = smcore.UnitSet{
-			ALU: analyticalALUs(smCfg, eng, g),
+			ALU: analyticalALUs(smCfg, eng, eng, g),
 			LDST: func(smID, sub int) smcore.Unit {
 				p := params
 				if m, ok := l1Meters[smID]; ok {
@@ -559,7 +656,7 @@ func assemble(gpu config.GPU, opts Options, prof *reuse.Profile) (*gpuAssembly, 
 	var bs *smcore.BlockScheduler
 	onBlockDone := func(sm *smcore.SM) { bs.BlockDone(sm) }
 	for i := range sms {
-		sm, err := smcore.NewSM(i, smCfg, eng, units, g, onBlockDone)
+		sm, err := smcore.NewSM(i, smCfg, ctxFor(i), units, gFor(i), onBlockDone)
 		if err != nil {
 			return nil, err
 		}
@@ -584,8 +681,12 @@ func assemble(gpu config.GPU, opts Options, prof *reuse.Profile) (*gpuAssembly, 
 	bs = smcore.NewBlockScheduler(sms, g)
 	a.bs = bs
 	eng.Register(bs)
-	for _, sm := range sms {
-		eng.Register(sm)
+	for i, sm := range sms {
+		if nShards > 1 {
+			eng.RegisterSharded(sm, shardOf(i))
+		} else {
+			eng.Register(sm)
+		}
 	}
 	return a, nil
 }
@@ -593,12 +694,14 @@ func assemble(gpu config.GPU, opts Options, prof *reuse.Profile) (*gpuAssembly, 
 // analyticalALUs returns the ALU provider of the hybrid configurations:
 // one ALUModel per sub-core per class, with DP shared per sub-core pair
 // when the configuration is "DP:0.5x" — identical structure to the
-// cycle-accurate provider, different modeling.
-func analyticalALUs(cfg config.SM, eng *engine.Engine, g *metrics.Gatherer) func(smID, sub int, class trace.OpClass) smcore.Unit {
+// cycle-accurate provider, different modeling. ctx is the engine context
+// the models schedule completions through (a shard context in parallel
+// assemblies); eng is only used for the module inventory.
+func analyticalALUs(cfg config.SM, eng *engine.Engine, ctx engine.Context, g *metrics.Gatherer) func(smID, sub int, class trace.OpClass) smcore.Unit {
 	type dpKey struct{ sm, pair int }
 	sharedDP := make(map[dpKey]*analytic.ALUModel)
 	mk := func(name string, lat, lanes int) *analytic.ALUModel {
-		u := analytic.NewALUModel(name, eng, lat, cfg.IssueInterval(lanes), g)
+		u := analytic.NewALUModel(name, ctx, lat, cfg.IssueInterval(lanes), g)
 		eng.AddModule(u)
 		return u
 	}

@@ -70,7 +70,7 @@ type ldstInst struct {
 // complete.
 type LDSTUnit struct {
 	name        string
-	eng         *engine.Engine
+	eng         engine.Context
 	l1          mem.Port
 	smid        int
 	sectorBytes int
@@ -90,7 +90,7 @@ type LDSTUnit struct {
 // NewLDSTUnit builds a cycle-accurate LD/ST unit feeding the given L1 port.
 // lanes is the LD/ST lane count (sector requests injected per cycle);
 // queueCap bounds concurrently tracked memory instructions.
-func NewLDSTUnit(name string, eng *engine.Engine, l1 mem.Port, smid, sectorBytes, lanes int, shmemLatency int, queueCap int, g *metrics.Gatherer) *LDSTUnit {
+func NewLDSTUnit(name string, eng engine.Context, l1 mem.Port, smid, sectorBytes, lanes int, shmemLatency int, queueCap int, g *metrics.Gatherer) *LDSTUnit {
 	if queueCap < 1 {
 		queueCap = 8
 	}

@@ -26,7 +26,7 @@ const (
 //
 // sectorBytes is the memory-system transaction size (the L1 sector size);
 // l1For returns the L1 data-cache port of the given SM.
-func NewCycleAccurateUnits(cfg config.SM, eng *engine.Engine, g *metrics.Gatherer, sectorBytes int, l1For func(smID int) mem.Port) UnitSet {
+func NewCycleAccurateUnits(cfg config.SM, eng engine.Context, g *metrics.Gatherer, sectorBytes int, l1For func(smID int) mem.Port) UnitSet {
 	type dpKey struct{ sm, pair int }
 	sharedDP := make(map[dpKey]Unit)
 

@@ -288,7 +288,8 @@ func (sc *subCore) removeWarp(w *Warp) {
 type SM struct {
 	id        int
 	cfg       config.SM
-	eng       *engine.Engine
+	eng       engine.Context
+	engDefers bool   // eng stages Defers (shard context); false = inline, skip the closure
 	wake      func() // engine activation callback (nil when standalone)
 	subcores  []*subCore
 	unitList  []Unit // distinct units across all sub-cores
@@ -394,7 +395,7 @@ func (sm *SM) FlushTrace(cycle uint64) {
 // arithmetic class must resolve to a unit, the LD/ST provider must return a
 // unit, and every sub-core must get at least one warp slot. Violations are
 // reported as errors at assembly time rather than panics mid-simulation.
-func NewSM(id int, cfg config.SM, eng *engine.Engine, us UnitSet, g *metrics.Gatherer, onBlockDone func(sm *SM)) (*SM, error) {
+func NewSM(id int, cfg config.SM, eng engine.Context, us UnitSet, g *metrics.Gatherer, onBlockDone func(sm *SM)) (*SM, error) {
 	if cfg.SubCores <= 0 {
 		return nil, fmt.Errorf("smcore: SM%d: SubCores must be positive, got %d", id, cfg.SubCores)
 	}
@@ -405,10 +406,15 @@ func NewSM(id int, cfg config.SM, eng *engine.Engine, us UnitSet, g *metrics.Gat
 	if us.ALU == nil || us.LDST == nil {
 		return nil, fmt.Errorf("smcore: SM%d: unit set missing ALU or LDST provider", id)
 	}
+	// *engine.Engine runs Defer inline; only shard contexts (or other
+	// staging wrappers) need blockDone's completion closure. Detecting the
+	// serial engine here keeps the per-block hot path allocation free.
+	_, directEng := eng.(*engine.Engine)
 	sm := &SM{
 		id:          id,
 		cfg:         cfg,
 		eng:         eng,
+		engDefers:   eng != nil && !directEng,
 		frontEnd:    us.ModelFrontEnd,
 		onBlockDone: onBlockDone,
 		issued:      g.Counter("sm.issued"),
@@ -670,10 +676,29 @@ func (sm *SM) blockDone(rb *residentBlock) {
 	sm.usedWarps -= rb.liveWarpsTotal()
 	sm.usedRegs -= rb.regs
 	sm.usedShmem -= rb.shmem
+	// The block-completion notification (and its trace span) escapes the
+	// SM: onBlockDone wakes the shared Block Scheduler. During a parallel
+	// shard pass that is a cross-shard side effect, so it goes through the
+	// engine context's Defer — applied at the deterministic barrier in
+	// registration order. In serial mode Defer would run the closure
+	// inline anyway, so skip the per-block allocation and call directly.
+	// All captured values (launch cycle, index) are already frozen here.
+	if sm.engDefers {
+		launchCycle, index := rb.launchCycle, rb.index
+		sm.eng.Defer(func() { sm.finishBlock(launchCycle, index) })
+	} else {
+		sm.finishBlock(rb.launchCycle, rb.index)
+	}
+}
+
+// finishBlock emits the block's trace span and notifies the Block
+// Scheduler. In sharded assemblies it runs at the engine barrier (via
+// Defer from blockDone); serially it runs inline.
+func (sm *SM) finishBlock(launchCycle uint64, index int) {
 	if sm.trOn && sm.eng != nil {
 		sm.tr.Emit(obs.Event{Name: "block", Cat: "sm", Ph: obs.PhaseSpan,
-			Ts: rb.launchCycle, Dur: sm.eng.Cycle() - rb.launchCycle, Tid: sm.trTid,
-			Arg1Name: "index", Arg1: uint64(rb.index)})
+			Ts: launchCycle, Dur: sm.eng.Cycle() - launchCycle, Tid: sm.trTid,
+			Arg1Name: "index", Arg1: uint64(index)})
 	}
 	if sm.onBlockDone != nil {
 		sm.onBlockDone(sm)

@@ -256,6 +256,13 @@ type Config struct {
 	// a prefix of each kernel's blocks is simulated and cycles are
 	// extrapolated by wave count. 0 or 1 simulates everything.
 	SampleBlocks float64
+	// EngineThreads > 1 ticks the simulated SMs (and their private L1s) on
+	// that many engine shards concurrently, synchronizing at a
+	// deterministic per-cycle barrier: results are byte-identical to a
+	// serial run at any value. 0 or 1 — the default — runs serially.
+	// SwiftSimMemory always runs serially (its shared analytical memory
+	// model leaves no per-SM timed state to shard).
+	EngineThreads int
 	// Trace records observability events for this simulation (see
 	// NewTracer). nil — the default — records nothing and costs nothing.
 	Trace *Tracer
@@ -275,12 +282,13 @@ func Simulate(app *App, gpu GPU, cfg Config) (*Result, error) {
 // wrapping ctx.Err().
 func SimulateCtx(ctx context.Context, app *App, gpu GPU, cfg Config) (*Result, error) {
 	return sim.RunCtx(ctx, app, gpu, sim.Options{
-		Kind:         cfg.Simulator,
-		HitRates:     cfg.HitRates,
-		MaxCycles:    cfg.MaxCycles,
-		Scheduler:    cfg.Scheduler,
-		SampleBlocks: cfg.SampleBlocks,
-		Trace:        cfg.Trace,
+		Kind:          cfg.Simulator,
+		HitRates:      cfg.HitRates,
+		MaxCycles:     cfg.MaxCycles,
+		Scheduler:     cfg.Scheduler,
+		SampleBlocks:  cfg.SampleBlocks,
+		Trace:         cfg.Trace,
+		EngineThreads: cfg.EngineThreads,
 	})
 }
 
@@ -337,12 +345,13 @@ func SimulateAllOpts(jobs []Job, threads int, opts RunOptions) []Outcome {
 	rjobs := make([]runner.Job, len(jobs))
 	for i, j := range jobs {
 		rjobs[i] = runner.Job{App: j.App, GPU: j.GPU, Opts: sim.Options{
-			Kind:         j.Cfg.Simulator,
-			HitRates:     j.Cfg.HitRates,
-			MaxCycles:    j.Cfg.MaxCycles,
-			Scheduler:    j.Cfg.Scheduler,
-			SampleBlocks: j.Cfg.SampleBlocks,
-			Trace:        j.Cfg.Trace,
+			Kind:          j.Cfg.Simulator,
+			HitRates:      j.Cfg.HitRates,
+			MaxCycles:     j.Cfg.MaxCycles,
+			Scheduler:     j.Cfg.Scheduler,
+			SampleBlocks:  j.Cfg.SampleBlocks,
+			Trace:         j.Cfg.Trace,
+			EngineThreads: j.Cfg.EngineThreads,
 		}}
 	}
 	outs := runner.Run(rjobs, threads, opts)
