@@ -4,11 +4,11 @@
 
 GO ?= go
 
-.PHONY: verify tier1 golden fuzz-smoke bench bench-quick benchcmp update-golden
+.PHONY: verify tier1 lint golden fuzz-smoke bench bench-quick benchcmp update-golden
 
-# verify = tier-1 + the golden regression corpus + a fuzz smoke of both
-# parsers. This is the full pre-commit gate.
-verify: tier1 golden fuzz-smoke
+# verify = tier-1 + lint + the golden regression corpus + a fuzz smoke of
+# both parsers. This is the full pre-commit gate.
+verify: tier1 lint golden fuzz-smoke
 
 # tier1 is the repo's baseline check (ROADMAP.md): everything builds,
 # vets, and tests green, with the race detector on the concurrent
@@ -17,7 +17,20 @@ tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/runner/... ./internal/engine/... ./internal/cache/... ./internal/noc/... ./internal/dram/... ./internal/obs/...
+	$(GO) test -race ./internal/runner/... ./internal/engine/... ./internal/cache/... ./internal/noc/... ./internal/dram/... ./internal/obs/... ./internal/service/... ./cmd/swiftsimd/...
+
+# lint enforces gofmt and go vet, and additionally runs staticcheck and
+# govulncheck when they are installed (they are optional: the build must
+# stay dependency-free on machines without them).
+lint:
+	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "lint: staticcheck not installed, skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "lint: govulncheck not installed, skipping"; fi
 
 # golden re-checks the committed 60-case fixture corpus only (fast drift
 # check without the rest of the suite).

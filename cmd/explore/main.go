@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"swiftsim"
+	"swiftsim/internal/cliutil"
 	"swiftsim/internal/config"
 )
 
@@ -70,14 +71,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown simulator %q", *simName)
 	}
 
-	points := strings.Split(*values, ",")
-	appNames := strings.Split(*apps, ",")
+	points := cliutil.SplitList(*values)
+	appNames := cliutil.SplitList(*apps)
+	if len(points) == 0 {
+		return fmt.Errorf("-values %q contains no values", *values)
+	}
+	if len(appNames) == 0 {
+		return fmt.Errorf("-apps %q contains no applications", *apps)
+	}
 
 	// Build one GPU per sweep point by round-tripping through the
 	// configuration-file parser, so any file key is sweepable.
 	gpus := make([]swiftsim.GPU, len(points))
 	for i, v := range points {
-		text := fmt.Sprintf("gpu.base = %s\n%s = %s\n", *gpuName, *key, strings.TrimSpace(v))
+		text := fmt.Sprintf("gpu.base = %s\n%s = %s\n", *gpuName, *key, v)
 		g, err := config.Parse(strings.NewReader(text))
 		if err != nil {
 			return fmt.Errorf("sweep point %q: %w", v, err)
@@ -89,12 +96,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		*key, points, simulator, *scale)
 	fmt.Fprintf(stdout, "%-12s", "App")
 	for _, v := range points {
-		fmt.Fprintf(stdout, " %12s", strings.TrimSpace(v))
+		fmt.Fprintf(stdout, " %12s", v)
 	}
 	fmt.Fprintln(stdout)
 
 	for _, name := range appNames {
-		app, err := swiftsim.GenerateWorkload(strings.TrimSpace(name), *scale)
+		app, err := swiftsim.GenerateWorkload(name, *scale)
 		if err != nil {
 			return err
 		}

@@ -54,6 +54,27 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 	}
 }
 
+// TestListFlagsTolerant: padded elements and trailing commas in -values
+// and -apps are cleaned up rather than producing phantom sweep points or
+// empty app names.
+func TestListFlagsTolerant(t *testing.T) {
+	code, out, stderr := runCmd(t,
+		"-key", "l1.ways", "-values", " 4 , 8 ,",
+		"-apps", " BFS ,", "-scale", "0.1", "-sim", "memory")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	var row string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "BFS") {
+			row = l
+		}
+	}
+	if fields := strings.Fields(row); len(fields) != 3 {
+		t.Errorf("BFS row has %d fields, want 3 (app + 2 points): %q", len(fields), row)
+	}
+}
+
 func TestExitOneOnErrors(t *testing.T) {
 	cases := []struct {
 		name string
@@ -67,6 +88,8 @@ func TestExitOneOnErrors(t *testing.T) {
 		{"bad sweep value", []string{"-key", "l1.sets", "-values", "64,banana", "-apps", "BFS", "-scale", "0.1"}, `sweep point "banana"`},
 		{"unknown key", []string{"-key", "no.such.key", "-values", "1", "-apps", "BFS", "-scale", "0.1"}, "unknown configuration key"},
 		{"unknown app", []string{"-key", "l1.sets", "-values", "64", "-apps", "NOPE", "-scale", "0.1"}, "NOPE"},
+		{"empty values list", []string{"-key", "l1.sets", "-values", ",,"}, "contains no values"},
+		{"empty apps list", []string{"-key", "l1.sets", "-values", "64", "-apps", " , "}, "contains no applications"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -27,9 +27,9 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
-	"strings"
 	"syscall"
 
+	"swiftsim/internal/cliutil"
 	"swiftsim/internal/experiments"
 	"swiftsim/internal/obs"
 )
@@ -48,7 +48,7 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	exp := fs.String("exp", "all", "experiment: table1|table2|fig4|fig5|fig6|all")
 	scale := fs.Float64("scale", 1.0, "workload problem scale")
 	apps := fs.String("apps", "", "comma-separated application subset (default: all 20)")
-	threads := fs.Int("threads", 0, "parallel workers for fig5 (0 = NumCPU)")
+	threads := fs.Int("threads", 0, "parallel workers for the fig5 and fig6 sweeps (0 = NumCPU; fig4 measures single-thread wall clock and always runs serially)")
 	engineThreads := fs.Int("engine-threads", 1, "engine shards per simulation (deterministic; the fig5 job pool shrinks to threads/engine-threads)")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file for the sweep")
@@ -94,7 +94,12 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 			fmt.Fprintf(stderr, "sweep: -trace-level: %v\n", err)
 			return 1
 		}
-		if level != obs.Off {
+		if level == obs.Off {
+			// -trace-out with the level forced off writes nothing; without
+			// this warning the flag silently produces no file and users
+			// hunt for an I/O failure that never happened.
+			fmt.Fprintf(stderr, "sweep: warning: -trace-out %s ignored because -trace-level is off; no trace file will be written\n", *traceOut)
+		} else {
 			f, err := os.Create(*traceOut)
 			if err != nil {
 				fmt.Fprintf(stderr, "sweep: -trace-out: %v\n", err)
@@ -122,8 +127,8 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		JobTimeout:    *jobTimeout,
 		Trace:         tracer,
 	}
-	if *apps != "" {
-		p.Apps = strings.Split(*apps, ",")
+	if list := cliutil.SplitList(*apps); len(list) > 0 {
+		p.Apps = list
 	}
 
 	var failures []experiments.Failure

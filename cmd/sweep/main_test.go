@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"os"
 	"strings"
 	"testing"
 )
@@ -60,6 +61,50 @@ func TestExitTwoOnFailedJobs(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "job(s) failed") || !strings.Contains(stderr, "BFS") {
 		t.Errorf("failure report missing:\n%s", stderr)
+	}
+}
+
+// TestAppsListTolerant: -apps with padding and a trailing comma still
+// selects the named apps — the bare strings.Split turned "BFS," into
+// ["BFS", ""] and the phantom empty name failed the whole sweep.
+func TestAppsListTolerant(t *testing.T) {
+	code, out, stderr := runSweep(t,
+		"-exp", "fig4", "-apps", " BFS , GEMM ,", "-scale", "0.1")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	for _, app := range []string{"BFS", "GEMM"} {
+		if !strings.Contains(out, app) {
+			t.Errorf("figure missing %s:\n%s", app, out)
+		}
+	}
+}
+
+// TestAppsListAllEmpty: an -apps value that reduces to nothing falls back
+// to the full catalog rather than running a zero-app sweep; table1 keeps
+// the test fast while exercising the flag path.
+func TestAppsListAllEmpty(t *testing.T) {
+	code, _, stderr := runSweep(t, "-exp", "table1", "-apps", " , ,")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+}
+
+// TestTraceOutLevelOffWarns: -trace-out with -trace-level off writes no
+// file; the combination must be called out instead of silently doing
+// nothing.
+func TestTraceOutLevelOffWarns(t *testing.T) {
+	path := t.TempDir() + "/trace.json"
+	code, _, stderr := runSweep(t,
+		"-exp", "table1", "-trace-out", path, "-trace-level", "off")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "warning") || !strings.Contains(stderr, "trace-level") {
+		t.Errorf("no warning about the ignored -trace-out:\n%s", stderr)
+	}
+	if _, err := os.Stat(path); err == nil {
+		t.Error("a trace file was written despite -trace-level off")
 	}
 }
 

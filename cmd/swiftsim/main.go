@@ -137,6 +137,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	var recs []swiftsim.TraceRecorder
 	var ring *swiftsim.TraceRing
+	if level == swiftsim.TraceOff && (*traceOut != "" || *traceCSV != "" || *traceStalls) {
+		// Output flags with the level forced off write nothing; warn so
+		// the missing files are attributable to the flag combination.
+		fmt.Fprintln(stderr, "swiftsim: warning: trace output flags ignored because -trace-level is off; no trace output will be written")
+	}
 	if *traceOut != "" && level != swiftsim.TraceOff {
 		f, err := os.Create(*traceOut)
 		if err != nil {

@@ -1,0 +1,141 @@
+// Command swiftsimd is the Swift-Sim sweep daemon: a long-running HTTP
+// service that accepts sweep specifications (applications × GPU presets ×
+// simulator kinds), executes them on a bounded worker pool, and serves
+// per-job progress and byte-stable canonical results. Identical jobs are
+// served from a persistent on-disk cache, across requests and across
+// restarts.
+//
+// API (see internal/service):
+//
+//	POST /v1/sweeps              submit {"apps":[...],"gpus":[...],"sims":[...],"scale":0.1}
+//	GET  /v1/sweeps/{id}         poll status
+//	GET  /v1/sweeps/{id}/events  stream NDJSON progress
+//	GET  /v1/sweeps/{id}/results fetch canonical metrics
+//	GET  /v1/stats               cache and queue counters
+//	GET  /healthz                liveness
+//
+// SIGINT/SIGTERM triggers a graceful drain: in-flight and queued sweeps
+// get -drain-timeout to finish before being hard-canceled.
+//
+// Usage:
+//
+//	swiftsimd -addr :8080 -cache-dir /var/cache/swiftsim [-queue-depth 64]
+//	          [-workers 2] [-threads 8] [-max-job-timeout 5m] [-drain-timeout 30s]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"swiftsim/internal/obs"
+	"swiftsim/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(realMain(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain runs the daemon until ctx is canceled and returns the process
+// exit code: 0 after a clean drain, 1 on startup failure or when the
+// drain deadline forced a hard cancel. Split from main so tests can drive
+// the full lifecycle.
+func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("swiftsimd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	cacheDir := fs.String("cache-dir", "swiftsim-cache", "persistent result cache directory")
+	queueDepth := fs.Int("queue-depth", 64, "max queued+running jobs before submissions are shed with 429")
+	workers := fs.Int("workers", 1, "sweeps executed concurrently")
+	threads := fs.Int("threads", 0, "worker pool per sweep (0 = NumCPU)")
+	maxJobTimeout := fs.Duration("max-job-timeout", 5*time.Minute, "cap and default for per-job wall-clock budgets (0 = none)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for queued sweeps on shutdown")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file for all sweeps")
+	traceLevel := fs.String("trace-level", "kernel", "trace detail: off|kernel|module|request")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		level, err := obs.ParseLevel(*traceLevel)
+		if err != nil {
+			fmt.Fprintf(stderr, "swiftsimd: -trace-level: %v\n", err)
+			return 1
+		}
+		if level == obs.Off {
+			fmt.Fprintf(stderr, "swiftsimd: warning: -trace-out %s ignored because -trace-level is off; no trace file will be written\n", *traceOut)
+		} else {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(stderr, "swiftsimd: -trace-out: %v\n", err)
+				return 1
+			}
+			rec := obs.NewJSONStream(f)
+			defer func() {
+				if cerr := rec.Close(); cerr != nil {
+					fmt.Fprintf(stderr, "swiftsimd: -trace-out: %v\n", cerr)
+				}
+			}()
+			tracer = obs.New(rec, level)
+		}
+	}
+
+	svc, err := service.New(service.Config{
+		CacheDir:      *cacheDir,
+		QueueDepth:    *queueDepth,
+		Workers:       *workers,
+		Threads:       *threads,
+		MaxJobTimeout: *maxJobTimeout,
+		Trace:         tracer,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "swiftsimd:", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "swiftsimd:", err)
+		return 1
+	}
+	// The resolved address is printed (not just the flag value) so
+	// ":0"-style addresses are usable by scripts and tests.
+	fmt.Fprintf(stdout, "swiftsimd: listening on http://%s (cache %s, queue depth %d)\n",
+		ln.Addr(), *cacheDir, *queueDepth)
+
+	srv := &http.Server{Handler: service.NewHandler(svc)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "swiftsimd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting connections, then give queued and
+	// in-flight sweeps the grace period before hard-canceling them.
+	fmt.Fprintf(stdout, "swiftsimd: shutting down (drain %v)\n", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintf(stderr, "swiftsimd: http shutdown: %v\n", err)
+	}
+	if err := svc.Close(dctx); err != nil {
+		fmt.Fprintf(stderr, "swiftsimd: drain deadline exceeded, in-flight jobs canceled: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "swiftsimd: drained cleanly")
+	return 0
+}

@@ -1,0 +1,21 @@
+// Package cliutil holds small helpers shared by the command-line front
+// ends (cmd/sweep, cmd/explore, cmd/swiftsimd).
+package cliutil
+
+import "strings"
+
+// SplitList splits a comma-separated flag value into its elements,
+// trimming surrounding whitespace and dropping empties. A bare
+// strings.Split would turn "BFS, GEMM," into ["BFS", " GEMM", ""] — the
+// padded name misses the workload catalog and the trailing empty string
+// becomes a phantom job — so every list-valued flag goes through here.
+// Empty or all-whitespace input yields nil.
+func SplitList(s string) []string {
+	var out []string
+	for _, el := range strings.Split(s, ",") {
+		if el = strings.TrimSpace(el); el != "" {
+			out = append(out, el)
+		}
+	}
+	return out
+}

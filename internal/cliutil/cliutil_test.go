@@ -1,0 +1,35 @@
+package cliutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSplitList(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want []string
+	}{
+		{"plain", "BFS,GEMM,SM", []string{"BFS", "GEMM", "SM"}},
+		{"spaces around elements", " BFS , GEMM ,SM", []string{"BFS", "GEMM", "SM"}},
+		{"trailing comma", "BFS,GEMM,", []string{"BFS", "GEMM"}},
+		{"leading comma", ",BFS", []string{"BFS"}},
+		{"consecutive commas", "BFS,,GEMM", []string{"BFS", "GEMM"}},
+		{"single element", "BFS", []string{"BFS"}},
+		{"single padded element", "  BFS\t", []string{"BFS"}},
+		{"empty", "", nil},
+		{"only commas", ",,,", nil},
+		{"only whitespace", "  \t ", nil},
+		{"whitespace between commas", " , , ", nil},
+		{"tabs", "\tBFS\t,\tGEMM\t", []string{"BFS", "GEMM"}},
+		{"interior spaces preserved", "a b, c d", []string{"a b", "c d"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := SplitList(tt.in); !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("SplitList(%q) = %#v, want %#v", tt.in, got, tt.want)
+			}
+		})
+	}
+}

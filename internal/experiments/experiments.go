@@ -11,6 +11,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -36,8 +37,10 @@ type Params struct {
 	Scale float64
 	// GPU is the hardware configuration (zero value = RTX 2080 Ti).
 	GPU config.GPU
-	// Threads is the worker count for the parallel phase of Figure 5
-	// (0 = NumCPU).
+	// Threads is the worker count for the sweeps that run jobs in
+	// parallel: the parallel phase of Figure 5 and the per-GPU sweeps of
+	// Figure 6 (0 = NumCPU). Figure 4 is unaffected — its speedups are
+	// single-thread wall-clock measurements, so it always runs serially.
 	Threads int
 	// EngineThreads shards each simulation's SMs across that many engine
 	// workers (deterministic; results are byte-identical to serial). The
@@ -428,7 +431,15 @@ type Fig6Result struct {
 
 // Figure6 validates Detailed and Swift-Sim-Basic against the golden model
 // of each of the three GPUs. Failed (GPU, app) pairs are dropped from the
-// figure and recorded in Failed.
+// figure and recorded in Failed, carrying only the first failing stage
+// (an app whose Detailed run fails never runs Basic).
+//
+// Unlike Figure 4, the figure reports only error percentages — no
+// wall-clock quantity — so its simulations run on a p.Threads worker pool:
+// per GPU, the surviving apps' Detailed jobs sweep in parallel, then the
+// Basic jobs of the apps whose Detailed run succeeded. Results are
+// byte-identical to a serial run (each job is an independent simulator
+// instance) and rows stay in application order.
 func Figure6(p Params) (*Fig6Result, error) {
 	p.fill()
 	apps, err := p.apps()
@@ -438,6 +449,13 @@ func Figure6(p Params) (*Fig6Result, error) {
 	res := &Fig6Result{MeanErr: make(map[string][2]float64)}
 	downscaled := p.GPU.NumSMs != config.RTX2080Ti().NumSMs ||
 		p.GPU.MemPartitions != config.RTX2080Ti().MemPartitions
+	// cand is an app that survived every stage so far, with its
+	// accumulated per-stage cycle counts.
+	type cand struct {
+		app       *trace.App
+		hwCycles  uint64
+		detCycles uint64
+	}
 	for _, gpu := range []config.GPU{config.RTX2080Ti(), config.RTX3060(), config.RTX3090()} {
 		if downscaled {
 			// A scaled-down experiment GPU replaces only SM/partition
@@ -445,8 +463,9 @@ func Figure6(p Params) (*Fig6Result, error) {
 			gpu.NumSMs = p.GPU.NumSMs
 			gpu.MemPartitions = p.GPU.MemPartitions
 		}
-		var sumDet, sumBasic float64
-		okRows := 0
+		// Stage 1: the golden hardware model, serially — it is an
+		// analytical computation, not a simulation worth pooling.
+		var cands []cand
 		for _, app := range apps {
 			if cerr := p.ctx().Err(); cerr != nil {
 				res.Failed = append(res.Failed, Failure{GPU: gpu.Name, App: app.Name, Stage: "canceled", Err: cerr})
@@ -457,21 +476,43 @@ func Figure6(p Params) (*Fig6Result, error) {
 				res.Failed = append(res.Failed, Failure{GPU: gpu.Name, App: app.Name, Stage: "hwmodel", Err: err})
 				continue
 			}
-			det, err := p.runSim(app, gpu, sim.Options{Kind: sim.Detailed})
-			if err != nil {
-				res.Failed = append(res.Failed, Failure{GPU: gpu.Name, App: app.Name, Stage: sim.Detailed.String(), Err: err})
+			cands = append(cands, cand{app: app, hwCycles: hw.Cycles})
+		}
+		runKind := func(kind sim.Kind, items []cand) []runner.Outcome {
+			jobs := make([]runner.Job, len(items))
+			for i, c := range items {
+				jobs[i] = runner.Job{App: c.app, GPU: gpu, Opts: sim.Options{Kind: kind}}
+			}
+			return runner.Run(jobs, p.Threads, runner.Options{
+				Ctx: p.Ctx, JobTimeout: p.JobTimeout, Trace: p.Trace,
+				EngineThreads: p.EngineThreads,
+			})
+		}
+		// Stage 2: Detailed sweep; stage 3: Basic, only for apps whose
+		// Detailed run succeeded.
+		var detOK []cand
+		for i, o := range runKind(sim.Detailed, cands) {
+			if o.Err != nil {
+				res.Failed = append(res.Failed, Failure{GPU: gpu.Name, App: cands[i].app.Name, Stage: sim.Detailed.String(), Err: simErr(o.Err)})
 				continue
 			}
-			bas, err := p.runSim(app, gpu, sim.Options{Kind: sim.Basic})
-			if err != nil {
-				res.Failed = append(res.Failed, Failure{GPU: gpu.Name, App: app.Name, Stage: sim.Basic.String(), Err: err})
+			c := cands[i]
+			c.detCycles = o.Result.Cycles
+			detOK = append(detOK, c)
+		}
+		var sumDet, sumBasic float64
+		okRows := 0
+		for i, o := range runKind(sim.Basic, detOK) {
+			c := detOK[i]
+			if o.Err != nil {
+				res.Failed = append(res.Failed, Failure{GPU: gpu.Name, App: c.app.Name, Stage: sim.Basic.String(), Err: simErr(o.Err)})
 				continue
 			}
 			row := Fig6Row{
 				GPU:         gpu.Name,
-				App:         app.Name,
-				ErrDetailed: stats.RelError(float64(det.Cycles), float64(hw.Cycles)),
-				ErrBasic:    stats.RelError(float64(bas.Cycles), float64(hw.Cycles)),
+				App:         c.app.Name,
+				ErrDetailed: stats.RelError(float64(c.detCycles), float64(c.hwCycles)),
+				ErrBasic:    stats.RelError(float64(o.Result.Cycles), float64(c.hwCycles)),
 			}
 			sumDet += row.ErrDetailed
 			sumBasic += row.ErrBasic
@@ -486,6 +527,18 @@ func Figure6(p Params) (*Fig6Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// simErr strips the runner's *JobError wrapper from a sweep outcome: the
+// Failure record already carries the job's identity, so only the
+// underlying simulation error is kept (panics, which have no underlying
+// error, keep the full JobError).
+func simErr(err error) error {
+	var je *runner.JobError
+	if errors.As(err, &je) && je.Err != nil {
+		return je.Err
+	}
+	return err
 }
 
 // Print writes the Figure 6 summary.

@@ -247,6 +247,17 @@ func (t *Tracer) Level() Level {
 	return t.level
 }
 
+// Flush forces the recorder's buffered data out. Long-lived emitters — the
+// sweep service flushes after every finished sweep — use it so a streaming
+// trace file stays current without closing the recorder. The nil tracer
+// flushes nothing.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	return t.rec.Flush()
+}
+
 // Pid returns the tracer's process id.
 func (t *Tracer) Pid() int32 {
 	if t == nil {

@@ -99,6 +99,12 @@ func GoldenPath(gpuName, appName string) string {
 	return filepath.Join("testdata", "golden", gpuName, appName+".golden")
 }
 
+// CanonicalVersion is the header line of the canonical rendering. It names
+// the serialization format, so consumers that persist canonical bytes —
+// the golden fixtures here, the sweep service's result cache — can fold it
+// into their keys and invalidate stored values when the format changes.
+const CanonicalVersion = "swiftsim-canonical 1"
+
 // Canonical renders a simulation result in canonical, byte-stable form:
 // fixed header fields, per-kernel cycle counts in launch order, and the
 // full metrics snapshot in sorted key order with fixed-format derived
@@ -107,7 +113,7 @@ func GoldenPath(gpuName, appName string) string {
 // renderings is the determinism criterion used throughout this package.
 func Canonical(res *sim.Result) []byte {
 	var b bytes.Buffer
-	b.WriteString("swiftsim-canonical 1\n")
+	b.WriteString(CanonicalVersion + "\n")
 	fmt.Fprintf(&b, "app %s\n", res.App)
 	fmt.Fprintf(&b, "gpu %s\n", res.GPUName)
 	fmt.Fprintf(&b, "sim %s\n", res.Kind)

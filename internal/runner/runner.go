@@ -67,6 +67,12 @@ type Options struct {
 	// FailFast cancels the remaining jobs after the first failure.
 	// Already-running jobs stop early; not-yet-started jobs are skipped.
 	FailFast bool
+	// OnStart, if non-nil, is invoked once per job as a worker picks it up,
+	// before the simulation begins (jobs the sweep skips still start — they
+	// finish immediately with ErrJobSkipped). Calls are serialized with
+	// OnProgress under the same lock; the callback must not call back into
+	// the runner. Long-lived services use it to surface "running" state.
+	OnStart func(jobIndex int)
 	// OnProgress, if non-nil, is invoked once per finished job. Calls are
 	// serialized by the runner (no locking needed inside the callback) but
 	// may come from any worker goroutine; the callback must not call back
@@ -93,6 +99,12 @@ type Progress struct {
 	// JobIndex is the job that just finished; Err is its outcome error.
 	JobIndex int
 	Err      error
+	// Result is the finished job's result (nil when the job failed). It is
+	// the same pointer later returned in the job's Outcome, exposed here so
+	// streaming consumers — the sweep service's per-job progress feed — can
+	// render or persist results as they complete instead of waiting for the
+	// whole sweep.
+	Result *sim.Result
 	// Done and Failed count finished and failed jobs so far; Total is the
 	// sweep size.
 	Done   int
@@ -192,10 +204,18 @@ func Run(jobs []Job, threads int, opts Options) []Outcome {
 		}
 		if opts.OnProgress != nil {
 			opts.OnProgress(Progress{
-				JobIndex: i, Err: o.Err,
+				JobIndex: i, Err: o.Err, Result: o.Result,
 				Done: done, Failed: failed, Total: len(jobs),
 			})
 		}
+	}
+	start := func(i int) {
+		if opts.OnStart == nil {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		opts.OnStart(i)
 	}
 
 	// exec runs one job with its wall-clock trace span. Emitting on the
@@ -223,6 +243,7 @@ func Run(jobs []Job, threads int, opts Options) []Outcome {
 
 	if threads <= 1 {
 		for i := range jobs {
+			start(i)
 			finish(i, exec(0, i))
 		}
 		return out
@@ -235,6 +256,7 @@ func Run(jobs []Job, threads int, opts Options) []Outcome {
 		go func(worker int) {
 			defer wg.Done()
 			for i := range next {
+				start(i)
 				finish(i, exec(worker, i))
 			}
 		}(w)
@@ -254,7 +276,11 @@ func Run(jobs []Job, threads int, opts Options) []Outcome {
 // its Opts.Trace never mutates the caller's Job slice).
 func runJob(ctx context.Context, i int, j Job, timeout time.Duration, tr *obs.Tracer, engineThreads int) Outcome {
 	if tr != nil {
-		j.Opts.Trace = tr.WithPid(i + 1)
+		// Pids are parent-relative so a caller holding a WithPid-derived
+		// tracer (the sweep service gives each sweep its own pid block)
+		// gets disjoint per-job pids; with the default parent pid 0 the
+		// jobs land on pids 1..N as before.
+		j.Opts.Trace = tr.WithPid(int(tr.Pid()) + i + 1)
 	}
 	if engineThreads > 0 && j.Opts.EngineThreads == 0 {
 		j.Opts.EngineThreads = engineThreads

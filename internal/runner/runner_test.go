@@ -288,6 +288,45 @@ func TestOnProgress(t *testing.T) {
 	}
 }
 
+// TestOnStartAndResult: OnStart fires exactly once per job before its
+// progress report, and each successful Progress carries the same Result
+// pointer as the job's Outcome (failed jobs carry nil).
+func TestOnStartAndResult(t *testing.T) {
+	jobs := testJobs(t, []string{"BFS", "GEMM", "SM", "LU"})
+	jobs[2].GPU.NumSMs = 0
+	started := map[int]int{}
+	finishedBeforeStart := false
+	results := map[int]*sim.Result{}
+	out := Run(jobs, 2, Options{
+		OnStart: func(i int) { started[i]++ },
+		OnProgress: func(p Progress) {
+			if started[p.JobIndex] == 0 {
+				finishedBeforeStart = true
+			}
+			results[p.JobIndex] = p.Result
+		},
+	})
+	if finishedBeforeStart {
+		t.Error("a job reported progress before its OnStart")
+	}
+	if len(started) != len(jobs) {
+		t.Fatalf("OnStart fired for %d jobs, want %d", len(started), len(jobs))
+	}
+	for i, n := range started {
+		if n != 1 {
+			t.Errorf("job %d started %d times, want 1", i, n)
+		}
+	}
+	for i, o := range out {
+		if results[i] != o.Result {
+			t.Errorf("job %d: Progress.Result != Outcome.Result", i)
+		}
+		if (o.Err == nil) != (results[i] != nil) {
+			t.Errorf("job %d: result nil-ness disagrees with error", i)
+		}
+	}
+}
+
 // TestSweepSurvivesOneBadTrace is the acceptance scenario: a 20-app sweep
 // in which one application's trace demands more registers than an SM has
 // (the former smcore panic) completes the other 19 jobs and attributes

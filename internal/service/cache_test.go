@@ -1,0 +1,162 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCacheMissFulfillHit(t *testing.T) {
+	c, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, hit, owner, f := c.Claim("k1")
+	if hit || !owner {
+		t.Fatalf("first claim: hit=%v owner=%v, want miss+owner", hit, owner)
+	}
+	if err := c.Fulfill(f, []byte("payload")); err != nil {
+		t.Fatalf("Fulfill: %v", err)
+	}
+	val, hit, owner, _ = c.Claim("k1")
+	if !hit || owner {
+		t.Fatalf("second claim: hit=%v owner=%v, want disk hit", hit, owner)
+	}
+	if string(val) != "payload" {
+		t.Errorf("cached value = %q", val)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Waits != 0 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 0 waits", st)
+	}
+}
+
+// TestCachePersistsAcrossInstances: a value written by one Cache is
+// served by a new Cache on the same directory — the restart survival the
+// daemon's -cache-dir promises.
+func TestCachePersistsAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, f := c1.Claim("k")
+	if err := c1.Fulfill(f, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, hit, _, _ := c2.Claim("k")
+	if !hit || string(val) != "v" {
+		t.Fatalf("fresh instance: hit=%v val=%q, want persisted value", hit, val)
+	}
+}
+
+// TestCacheSingleFlight: a claim of an in-flight key joins the owner's
+// computation instead of owning a second one, and gets the owner's value.
+func TestCacheSingleFlight(t *testing.T) {
+	c, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, owner, f := c.Claim("k")
+	if !owner {
+		t.Fatal("first claim did not own")
+	}
+	var wg sync.WaitGroup
+	joinedVal := make([]string, 3)
+	for i := 0; i < 3; i++ {
+		_, hit, own2, f2 := c.Claim("k")
+		if hit || own2 {
+			t.Fatalf("concurrent claim: hit=%v owner=%v, want join", hit, own2)
+		}
+		wg.Add(1)
+		go func(i int, f2 *Flight) {
+			defer wg.Done()
+			v, err := f2.Wait(context.Background())
+			if err != nil {
+				t.Errorf("joiner %d: %v", i, err)
+			}
+			joinedVal[i] = string(v)
+		}(i, f2)
+	}
+	if err := c.Fulfill(f, []byte("once")); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, v := range joinedVal {
+		if v != "once" {
+			t.Errorf("joiner %d got %q", i, v)
+		}
+	}
+	if st := c.Stats(); st.Waits != 3 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 3 waits / 1 miss", st)
+	}
+}
+
+// TestCacheFailReleasesAndRetries: a failed flight propagates its error
+// to joiners, persists nothing, and the next claim owns a fresh attempt.
+func TestCacheFailReleasesAndRetries(t *testing.T) {
+	c, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	_, _, _, f := c.Claim("k")
+	_, _, _, joined := c.Claim("k")
+	c.Fail(f, boom)
+	if _, err := joined.Wait(context.Background()); !errors.Is(err, boom) {
+		t.Errorf("joiner error = %v, want boom", err)
+	}
+	_, hit, owner, f2 := c.Claim("k")
+	if hit || !owner {
+		t.Fatalf("retry claim: hit=%v owner=%v, want fresh ownership", hit, owner)
+	}
+	c.Fail(f2, boom)
+}
+
+// TestFlightWaitHonorsContext: a joiner abandoned by a wedged owner is
+// still released by its own context.
+func TestFlightWaitHonorsContext(t *testing.T) {
+	c, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, _ = c.Claim("k") // owner never resolves
+	_, _, _, f := c.Claim("k")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := f.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Wait = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestCacheWriteAtomic: the value directory never contains a torn or
+// temporary file after Fulfill returns.
+func TestCacheWriteAtomic(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, f := c.Claim("kk")
+	if err := c.Fulfill(f, []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "kk.res" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("cache dir = %v, want exactly [kk.res]", names)
+	}
+}

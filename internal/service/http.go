@@ -1,0 +1,132 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// NewHandler serves the service's HTTP/JSON API:
+//
+//	POST /v1/sweeps             submit a Spec        → 202 {"id":..., "jobs":...}
+//	GET  /v1/sweeps/{id}        poll a sweep         → 200 Status
+//	GET  /v1/sweeps/{id}/events stream progress      → 200 NDJSON Events
+//	GET  /v1/sweeps/{id}/results fetch results       → 200 canonical metrics
+//	GET  /v1/stats              service counters     → 200 Stats
+//	GET  /healthz               liveness             → 200 "ok"
+//
+// Error mapping: invalid specs → 400, unknown sweeps → 404, a full queue
+// → 429 (with Retry-After), draining → 503.
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		var spec Spec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+			return
+		}
+		sw, err := s.Submit(spec)
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrQueueFull):
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusTooManyRequests, err)
+			case errors.Is(err, ErrDraining):
+				httpError(w, http.StatusServiceUnavailable, err)
+			default:
+				httpError(w, http.StatusBadRequest, err)
+			}
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"id": sw.ID(), "jobs": len(sw.jobs),
+		})
+	})
+
+	mux.HandleFunc("GET /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		sw, err := s.Sweep(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, sw.Status())
+	})
+
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		sw, err := s.Sweep(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		from := 0
+		if v := r.URL.Query().Get("from"); v != "" {
+			if from, err = strconv.Atoi(v); err != nil || from < 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad from=%q", v))
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		for {
+			evs, done, err := sw.WaitEvents(r.Context(), from)
+			if err != nil {
+				return // client went away
+			}
+			for _, ev := range evs {
+				if err := enc.Encode(ev); err != nil {
+					return
+				}
+			}
+			from += len(evs)
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if done {
+				return
+			}
+		}
+	})
+
+	mux.HandleFunc("GET /v1/sweeps/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+		sw, err := s.Sweep(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		body, err := sw.Results()
+		if err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+
+	return mux
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// httpError writes a JSON error body so clients never have to parse
+// free-form text.
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

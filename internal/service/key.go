@@ -1,0 +1,84 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"runtime/debug"
+	"sync"
+
+	"swiftsim/internal/config"
+	"swiftsim/internal/regress"
+	"swiftsim/internal/sim"
+	"swiftsim/internal/trace"
+)
+
+// keySchema versions the key derivation itself; bump it when the fields
+// folded into the key change.
+const keySchema = "swiftsim-service-key 1"
+
+// jobKey derives the persistent cache key of one simulation job. Two jobs
+// share a key exactly when they are guaranteed byte-identical canonical
+// results, so the key folds in everything that affects them:
+//
+//   - the canonical rendering format (regress.CanonicalVersion);
+//   - the code version (VCS revision when built from a checkout) — any
+//     code change may legitimately move metrics, so a new build starts
+//     cold rather than serving stale values;
+//   - the full GPU configuration, via its canonical file serialization;
+//   - the trace content hash — content, not pointer or name, so a
+//     re-parsed or re-generated copy of the same workload still hits;
+//   - the result-affecting sim.Options fields. EngineThreads is
+//     deliberately excluded (results are byte-identical at every shard
+//     count); Scheduler and Trace must be unset — the service never sets
+//     them, and a custom scheduler would change results without changing
+//     the key.
+func jobKey(app *trace.App, gpu config.GPU, opts sim.Options) string {
+	h := sha256.New()
+	io.WriteString(h, keySchema+"\n")
+	io.WriteString(h, regress.CanonicalVersion+"\n")
+	io.WriteString(h, codeVersion()+"\n")
+	h.Write(config.Marshal(gpu))
+	th := trace.ContentHash(app)
+	h.Write(th[:])
+	fmt.Fprintf(h, "opts kind=%d hitrates=%d maxcycles=%d latencyscale=%g overhead=%d sample=%g\n",
+		opts.Kind, opts.HitRates, opts.MaxCycles, opts.LatencyScale,
+		opts.ExtraKernelOverhead, opts.SampleBlocks)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+var (
+	codeVersionOnce sync.Once
+	codeVersionVal  string
+)
+
+// codeVersion identifies the running build: the VCS revision (plus a
+// dirty marker) when available, else a fixed placeholder. Builds without
+// VCS stamping — go test binaries, plain `go run` — share one cold
+// namespace, which only ever costs recomputation, never staleness within
+// a single test process.
+func codeVersion() string {
+	codeVersionOnce.Do(func() {
+		codeVersionVal = "unversioned"
+		info, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		var rev, dirty string
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "+dirty"
+				}
+			}
+		}
+		if rev != "" {
+			codeVersionVal = rev + dirty
+		}
+	})
+	return codeVersionVal
+}

@@ -14,8 +14,12 @@ import (
 // sources and thread counts, re-profiling an identical trace each time —
 // pure recomputation, since a profile is a deterministic function of the
 // trace and the cache geometry. This cache memoizes profiles keyed by the
-// application (by pointer: traces are immutable once built and shared
-// across jobs) and the geometry fields the profilers actually read.
+// application's content hash (trace.ContentHash — traces are immutable
+// once built) and the geometry fields the profilers actually read.
+// Content keying, rather than pointer keying, lets separately-parsed
+// copies of the same trace — two .sgt loads, a daemon request re-reading
+// a file — share one profile; pointer identity could never hit across
+// them.
 //
 // The cache is bounded: sampled runs profile freshly-built truncated apps
 // whose pointers never repeat, so FIFO eviction keeps those from
@@ -32,7 +36,7 @@ type profGeom struct {
 }
 
 type profKey struct {
-	app  *trace.App
+	app  [32]byte // trace.ContentHash of the application
 	geom profGeom
 }
 
@@ -55,7 +59,7 @@ var (
 // computing it on first use.
 func profileCached(app *trace.App, gpu config.GPU, src HitRateSource) *reuse.Profile {
 	key := profKey{
-		app: app,
+		app: trace.ContentHash(app),
 		geom: profGeom{
 			numSMs: gpu.NumSMs,
 			parts:  gpu.MemPartitions,

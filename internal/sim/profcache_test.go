@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"testing"
+
+	"swiftsim/internal/trace"
+)
+
+// copyApp deep-copies a trace down to the instruction slices, simulating a
+// separately-parsed copy of the same .sgt file (distinct pointers, equal
+// content).
+func copyApp(a *trace.App) *trace.App {
+	out := &trace.App{Name: a.Name, Suite: a.Suite}
+	for _, k := range a.Kernels {
+		nk := &trace.Kernel{
+			Name: k.Name, Grid: k.Grid, Block: k.Block,
+			RegsPerThread: k.RegsPerThread, SharedMemPerBlock: k.SharedMemPerBlock,
+		}
+		for _, b := range k.Blocks {
+			nb := trace.BlockTrace{}
+			for _, w := range b.Warps {
+				nw := make(trace.WarpTrace, len(w))
+				copy(nw, w)
+				for i := range nw {
+					nw[i].Addrs = append([]uint64(nil), w[i].Addrs...)
+				}
+				nb.Warps = append(nb.Warps, nw)
+			}
+			nk.Blocks = append(nk.Blocks, nb)
+		}
+		out.Kernels = append(out.Kernels, nk)
+	}
+	return out
+}
+
+// TestProfileCacheHitsAcrossCopies: the profile memoization is keyed by
+// trace content, so two separately-built copies of the same application
+// share one cache entry (the pointer-keyed scheme could never hit here).
+func TestProfileCacheHitsAcrossCopies(t *testing.T) {
+	gpu := smallGPU()
+	app := mustApp(t, "BFS", 0.1)
+	dup := copyApp(app)
+	if app == dup {
+		t.Fatal("copyApp returned the same pointer")
+	}
+
+	profMu.Lock()
+	before := len(profCache)
+	profMu.Unlock()
+
+	p1 := profileCached(app, gpu, FunctionalCaches)
+	p2 := profileCached(dup, gpu, FunctionalCaches)
+	if p1 != p2 {
+		t.Error("copies of the same trace produced distinct profile instances")
+	}
+
+	profMu.Lock()
+	after := len(profCache)
+	profMu.Unlock()
+	if grown := after - before; grown > 1 {
+		t.Errorf("profile cache grew by %d entries for two copies of one trace, want at most 1", grown)
+	}
+}
+
+// TestProfileCacheDistinguishesContent: different traces (and different
+// geometries) must not collide.
+func TestProfileCacheDistinguishesContent(t *testing.T) {
+	gpu := smallGPU()
+	a := mustApp(t, "BFS", 0.1)
+	b := mustApp(t, "GEMM", 0.1)
+	if profileCached(a, gpu, FunctionalCaches) == profileCached(b, gpu, FunctionalCaches) {
+		t.Error("distinct applications shared a profile instance")
+	}
+	other := gpu
+	other.L1.Sets *= 2
+	if profileCached(a, gpu, FunctionalCaches) == profileCached(a, other, FunctionalCaches) {
+		t.Error("distinct cache geometries shared a profile instance")
+	}
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+)
+
+// ContentHash returns a SHA-256 digest over an application's full semantic
+// content: names, every kernel's launch geometry and resource footprint,
+// and every instruction of every warp including per-lane addresses. Two
+// apps with equal content hash simulate identically under every
+// configuration, regardless of how (or how many times) the trace was
+// parsed or generated — which is exactly what pointer identity cannot
+// express. The sweep service keys its persistent result cache on this
+// hash, and the profile memoization in internal/sim uses it so
+// separately-parsed copies of the same trace share one profile.
+//
+// Apps are immutable once built (the simulator relies on this already), so
+// the digest is memoized per *App. The memo is bounded: sampled runs hash
+// freshly-built truncated apps whose pointers never repeat, and FIFO
+// eviction keeps those from accumulating.
+func ContentHash(a *App) [32]byte {
+	hashMu.Lock()
+	if h, ok := hashCache[a]; ok {
+		hashMu.Unlock()
+		return h
+	}
+	hashMu.Unlock()
+
+	// Hash outside the lock: concurrent first requests for the same app
+	// may compute twice, but the result is deterministic and the apps can
+	// be large — holding the mutex across the walk would serialize sweeps.
+	h := computeContentHash(a)
+
+	hashMu.Lock()
+	if _, ok := hashCache[a]; !ok {
+		if len(hashOrder) >= hashCacheCap {
+			delete(hashCache, hashOrder[0])
+			hashOrder = hashOrder[1:]
+		}
+		hashCache[a] = h
+		hashOrder = append(hashOrder, a)
+	}
+	hashMu.Unlock()
+	return h
+}
+
+const hashCacheCap = 256
+
+var (
+	hashMu    sync.Mutex
+	hashCache = make(map[*App][32]byte)
+	hashOrder []*App // FIFO eviction order
+)
+
+// computeContentHash walks the app in declaration order with unambiguous
+// framing (every string and slice is length-prefixed), so distinct traces
+// cannot collide by field concatenation.
+func computeContentHash(a *App) [32]byte {
+	d := sha256.New()
+	// buf batches writes into the digest; sha256.Write per instruction
+	// field would dominate the walk.
+	buf := make([]byte, 0, 1<<15)
+	flush := func() {
+		d.Write(buf)
+		buf = buf[:0]
+	}
+	u32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	u64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+	str := func(s string) {
+		u32(uint32(len(s)))
+		buf = append(buf, s...)
+	}
+	dim := func(v Dim3) { u32(uint32(v.X)); u32(uint32(v.Y)); u32(uint32(v.Z)) }
+
+	str("swiftsim-trace-hash 1")
+	str(a.Name)
+	str(a.Suite)
+	u32(uint32(len(a.Kernels)))
+	for _, k := range a.Kernels {
+		str(k.Name)
+		dim(k.Grid)
+		dim(k.Block)
+		u32(uint32(k.RegsPerThread))
+		u32(uint32(k.SharedMemPerBlock))
+		u32(uint32(len(k.Blocks)))
+		for bi := range k.Blocks {
+			b := &k.Blocks[bi]
+			u32(uint32(len(b.Warps)))
+			for _, w := range b.Warps {
+				u32(uint32(len(w)))
+				for i := range w {
+					in := &w[i]
+					u64(in.PC)
+					buf = append(buf, byte(in.Op), byte(in.Dst), byte(in.Src[0]), byte(in.Src[1]))
+					u32(in.ActiveMask)
+					u32(uint32(len(in.Addrs)))
+					for _, addr := range in.Addrs {
+						u64(addr)
+					}
+					if len(buf) >= 1<<15-64 {
+						flush()
+					}
+				}
+			}
+		}
+	}
+	flush()
+	var out [32]byte
+	d.Sum(out[:0])
+	return out
+}
