@@ -17,7 +17,8 @@ tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/runner/... ./internal/engine/... ./internal/cache/... ./internal/noc/... ./internal/dram/... ./internal/obs/... ./internal/service/... ./cmd/swiftsimd/...
+	$(GO) test -race ./internal/runner/... ./internal/engine/... ./internal/cache/... ./internal/noc/... ./internal/dram/... ./internal/obs/... ./internal/service/... ./internal/sim/... ./internal/snap/... ./cmd/swiftsimd/...
+	$(GO) test -race -run 'TestEpoch|TestSnapshot' ./internal/regress/
 
 # lint enforces gofmt and go vet, and additionally runs staticcheck and
 # govulncheck when they are installed (they are optional: the build must
@@ -42,6 +43,7 @@ golden:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseTrace -fuzztime=10s ./internal/trace/
 	$(GO) test -fuzz=FuzzLoadConfig -fuzztime=10s ./internal/config/
+	$(GO) test -fuzz=FuzzParseSnapshot -fuzztime=10s ./internal/sim/
 
 # update-golden regenerates the golden fixtures after an intended metrics
 # change. Review the fixture diff like any other code change.
@@ -55,7 +57,7 @@ bench-quick:
 # bench records the perf-gate benchmarks (the ones with a committed
 # baseline) with enough repetitions for stable medians. Writes bench.txt.
 BENCH_PKGS = . ./internal/engine/
-BENCH_FILTER = 'BenchmarkSimulatorThroughput|BenchmarkGoldenCorpus|BenchmarkEngineActiveSet|BenchmarkObsOff|BenchmarkEngineParallel'
+BENCH_FILTER = 'BenchmarkSimulatorThroughput|BenchmarkGoldenCorpus|BenchmarkEngineActiveSet|BenchmarkObsOff|BenchmarkEngineParallel|BenchmarkEngineRelaxed'
 bench:
 	$(GO) test -run '^$$' -bench $(BENCH_FILTER) -benchtime 2x -count 5 $(BENCH_PKGS) | tee bench.txt
 
@@ -65,13 +67,16 @@ bench:
 # `make bench && cp bench.txt bench_baseline.txt`.
 #
 # On hosts with >= 4 cores it additionally requires the sharded engine to
-# reach the committed intra-simulation speedup floor (threads=4 at least
-# 1.8x over threads=1); on smaller hosts the floor is unmeasurable (the
-# shards serialize on the few cores available), so the gate is skipped.
+# reach the committed intra-simulation speedup floors — exact mode
+# (threads=4 at least 1.8x over threads=1) and relaxed-epoch mode (k=8 at
+# least 1.1x over k=1 at the same thread count); on smaller hosts the
+# floors are unmeasurable (the shards serialize on the few cores
+# available), so those gates are skipped.
 benchcmp: bench
 	$(GO) run ./cmd/benchcmp -gate 0.9 bench_baseline.txt bench.txt
 	@if [ "$$(nproc)" -ge 4 ]; then \
 		$(GO) run ./cmd/benchcmp -within 'BenchmarkEngineParallel/threads=1,BenchmarkEngineParallel/threads=4,1.8' bench_baseline.txt bench.txt; \
+		$(GO) run ./cmd/benchcmp -within 'BenchmarkEngineRelaxed/k=1,BenchmarkEngineRelaxed/k=8,1.1' bench_baseline.txt bench.txt; \
 	else \
-		echo "benchcmp: skipping engine-parallel speedup floor (nproc $$(nproc) < 4)"; \
+		echo "benchcmp: skipping engine speedup floors (nproc $$(nproc) < 4)"; \
 	fi

@@ -329,6 +329,47 @@ func BenchmarkEngineParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineRelaxed measures the relaxed-sync epoch mode: the same
+// sharded Detailed simulation as BenchmarkEngineParallel at a fixed thread
+// count, sweeping the epoch length k. k=1 is the exact protocol (cycles
+// cross-checked against the serial run); k=8 and k=64 amortize the barrier
+// over longer shard passes and trade bounded cycle drift for wall-clock
+// speed — the accuracy side of the trade is pinned by the error-envelope
+// fixtures in internal/regress. The k=1/k=8 pair feeds the `make benchcmp`
+// epoch speedup gate on multi-core hosts.
+func BenchmarkEngineRelaxed(b *testing.B) {
+	app, err := workload.Generate("GEMM", 4.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gpu := benchGPU()
+	base, err := sim.Run(app, gpu, sim.Options{Kind: sim.Detailed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	threads := 4
+	if n := runtime.NumCPU(); n < threads {
+		threads = n
+	}
+	for _, k := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(app, gpu, sim.Options{
+					Kind: sim.Detailed, EngineThreads: threads, EpochCycles: k})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+			}
+			if k == 1 && cycles != base.Cycles {
+				b.Fatalf("EpochCycles=1 cycles %d != serial %d", cycles, base.Cycles)
+			}
+			b.ReportMetric(float64(cycles), "gpu-cycles")
+		})
+	}
+}
+
 // BenchmarkAblationTopology swaps the interconnect module between crossbar
 // and ring — the NoC-exploration flexibility the paper contrasts against
 // queueing-model NoCs.

@@ -50,12 +50,17 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	apps := fs.String("apps", "", "comma-separated application subset (default: all 20)")
 	threads := fs.Int("threads", 0, "parallel workers for the fig5 and fig6 sweeps (0 = NumCPU; fig4 measures single-thread wall clock and always runs serially)")
 	engineThreads := fs.Int("engine-threads", 1, "engine shards per simulation (deterministic; the fig5 job pool shrinks to threads/engine-threads)")
+	epochCycles := fs.Int("epoch-cycles", 1, "relaxed-sync epoch length for parallel simulations (1 = exact per-cycle barrier; >1 trades bounded cycle drift for speed and requires -engine-threads > 1)")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file for the sweep")
 	traceLevel := fs.String("trace-level", "kernel", "trace detail: off|kernel|module|request")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if err := cliutil.ValidateEpoch(*epochCycles, *engineThreads); err != nil {
+		fmt.Fprintln(stderr, "sweep:", err)
 		return 1
 	}
 
@@ -123,6 +128,7 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		Scale:         *scale,
 		Threads:       *threads,
 		EngineThreads: *engineThreads,
+		EpochCycles:   *epochCycles,
 		Ctx:           ctx,
 		JobTimeout:    *jobTimeout,
 		Trace:         tracer,

@@ -40,6 +40,19 @@ func TestExitOneOnBadFlag(t *testing.T) {
 	}
 }
 
+// TestExitOneOnRelaxedEpochSerialEngine: -epoch-cycles > 1 is meaningless
+// without a parallel engine; the contradiction is rejected up front with
+// an actionable message instead of silently running exact mode.
+func TestExitOneOnRelaxedEpochSerialEngine(t *testing.T) {
+	code, _, stderr := runSweep(t, "-exp", "fig4", "-epoch-cycles", "8")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "-engine-threads") {
+		t.Errorf("stderr does not point at -engine-threads:\n%s", stderr)
+	}
+}
+
 func TestExitOneOnUnknownApp(t *testing.T) {
 	code, _, stderr := runSweep(t, "-exp", "fig4", "-apps", "NOPE")
 	if code != 1 {

@@ -10,10 +10,14 @@
 //
 //	swiftsim -app BFS -sim memory
 //	swiftsim -trace run.sgt -config mygpu.cfg -sim detailed -metrics
+//	swiftsim -app GEMM -sim detailed -engine-threads 4 -epoch-cycles 8
+//	swiftsim -app BFS -sim l2 -snapshot-at 5000 -snapshot-out warm.snap
+//	swiftsim -app BFS -sim l2 -restore warm.snap
 //	swiftsim -list
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -23,6 +27,7 @@ import (
 	"syscall"
 
 	"swiftsim"
+	"swiftsim/internal/cliutil"
 )
 
 func main() {
@@ -54,6 +59,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	hitSrc := fs.String("hitrates", "functional", "memory-model hit-rate source: functional|reuse")
 	sample := fs.Float64("sample", 0, "block-sampling fraction in (0,1); 0 = full simulation")
 	engineThreads := fs.Int("engine-threads", 1, "engine shards ticking SMs concurrently (deterministic; 1 = serial)")
+	epochCycles := fs.Int("epoch-cycles", 1, "relaxed-sync epoch length (1 = exact per-cycle barrier; >1 trades bounded cycle drift for speed and requires -engine-threads > 1)")
+	snapshotAt := fs.Uint64("snapshot-at", 0, "write a snapshot at the first quiescent kernel boundary at or after this cycle (requires -snapshot-out)")
+	snapshotOut := fs.String("snapshot-out", "", "snapshot output file (see -snapshot-at; cycle 0 checkpoints before the first kernel)")
+	restorePath := fs.String("restore", "", "resume from a snapshot file written by -snapshot-out (app and config must match)")
 	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the simulation (0 = none)")
 	showMetrics := fs.Bool("metrics", false, "print the full Metrics Gatherer report")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file (load in chrome://tracing)")
@@ -63,6 +72,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	list := fs.Bool("list", false, "list bundled workloads and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if err := cliutil.ValidateEpoch(*epochCycles, *engineThreads); err != nil {
+		return err
+	}
+	if *snapshotAt > 0 && *snapshotOut == "" {
+		return fmt.Errorf("-snapshot-at requires -snapshot-out")
 	}
 
 	if *list {
@@ -104,7 +119,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	cfg := swiftsim.Config{SampleBlocks: *sample, EngineThreads: *engineThreads}
+	cfg := swiftsim.Config{
+		SampleBlocks:  *sample,
+		EngineThreads: *engineThreads,
+		EpochCycles:   *epochCycles,
+	}
+	// The snapshot is staged in memory and written only after a successful
+	// run, so a failed simulation never leaves a truncated snapshot file.
+	var snapBuf bytes.Buffer
+	if *snapshotOut != "" {
+		cfg.SnapshotAt = *snapshotAt
+		cfg.SnapshotTo = &snapBuf
+	}
+	if *restorePath != "" {
+		data, err := os.ReadFile(*restorePath)
+		if err != nil {
+			return err
+		}
+		cfg.RestoreFrom = bytes.NewReader(data)
+	}
 	switch *simName {
 	case "detailed":
 		cfg.Simulator = swiftsim.Detailed
@@ -167,6 +200,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	res, err := swiftsim.SimulateCtx(ctx, app, gpu, cfg)
 	if err != nil {
 		return err
+	}
+	if *snapshotOut != "" {
+		if err := os.WriteFile(*snapshotOut, snapBuf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "snapshot     %s (%d bytes, requested at cycle %d)\n",
+			*snapshotOut, snapBuf.Len(), *snapshotAt)
 	}
 
 	fmt.Fprintf(stdout, "app          %s\n", res.App)

@@ -53,6 +53,57 @@ func TestTinyRunStdout(t *testing.T) {
 	}
 }
 
+// TestSnapshotRestoreRoundTrip drives the snapshot flags end to end: a
+// run checkpoints at a mid-run kernel boundary, a second run resumes from
+// the file, and both report the same cycle count as an uninterrupted run.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	cyclesLine := func(out string) string {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "cycles") {
+				return line
+			}
+		}
+		t.Fatalf("no cycles line in output:\n%s", out)
+		return ""
+	}
+
+	code, base, stderr := runCmd(t, "-app", "BFS", "-scale", "0.1", "-sim", "memory")
+	if code != 0 {
+		t.Fatalf("baseline exit = %d, stderr:\n%s", code, stderr)
+	}
+
+	snap := filepath.Join(t.TempDir(), "mid.snap")
+	code, out, stderr := runCmd(t, "-app", "BFS", "-scale", "0.1", "-sim", "memory",
+		"-snapshot-at", "1", "-snapshot-out", snap)
+	if code != 0 {
+		t.Fatalf("snapshot run exit = %d, stderr:\n%s", code, stderr)
+	}
+	if cyclesLine(out) != cyclesLine(base) {
+		t.Errorf("snapshotting perturbed the run:\n%s\nvs\n%s", cyclesLine(out), cyclesLine(base))
+	}
+	if !strings.Contains(out, "snapshot     "+snap) {
+		t.Errorf("no snapshot confirmation line:\n%s", out)
+	}
+	if fi, err := os.Stat(snap); err != nil || fi.Size() == 0 {
+		t.Fatalf("snapshot file: %v (size %v)", err, fi)
+	}
+
+	code, out, stderr = runCmd(t, "-app", "BFS", "-scale", "0.1", "-sim", "memory",
+		"-restore", snap)
+	if code != 0 {
+		t.Fatalf("restore exit = %d, stderr:\n%s", code, stderr)
+	}
+	if cyclesLine(out) != cyclesLine(base) {
+		t.Errorf("restored run diverged:\n%s\nvs\n%s", cyclesLine(out), cyclesLine(base))
+	}
+
+	// A mismatched restore (different app) must fail loudly, not resume.
+	if code, _, stderr = runCmd(t, "-app", "SM", "-scale", "0.1", "-sim", "memory",
+		"-restore", snap); code != 1 || !strings.Contains(stderr, "snapshot") {
+		t.Errorf("mismatched restore: exit %d, stderr:\n%s", code, stderr)
+	}
+}
+
 func TestMetricsReport(t *testing.T) {
 	code, out, _ := runCmd(t, "-app", "BFS", "-scale", "0.1", "-sim", "basic", "-metrics")
 	if code != 0 {
@@ -94,6 +145,10 @@ func TestExitOneOnErrors(t *testing.T) {
 		{"unknown sim", []string{"-app", "BFS", "-sim", "psychic"}, "unknown simulator"},
 		{"unknown hitrates", []string{"-app", "BFS", "-sim", "memory", "-hitrates", "x"}, "unknown hit-rate source"},
 		{"missing trace", []string{"-trace", filepath.Join(t.TempDir(), "nope.sgt")}, "no such file"},
+		{"relaxed epoch on serial engine", []string{"-app", "BFS", "-epoch-cycles", "8"}, "-engine-threads"},
+		{"negative epoch", []string{"-app", "BFS", "-epoch-cycles", "-2"}, "-epoch-cycles"},
+		{"snapshot-at without out", []string{"-app", "BFS", "-snapshot-at", "100"}, "-snapshot-out"},
+		{"missing restore file", []string{"-app", "BFS", "-restore", filepath.Join(t.TempDir(), "nope.snap")}, "no such file"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -21,6 +21,7 @@
 //
 //	swiftsimd -addr :8080 -cache-dir /var/cache/swiftsim [-queue-depth 64]
 //	          [-workers 2] [-threads 8] [-max-job-timeout 5m] [-drain-timeout 30s]
+//	          [-engine-threads 4 -epoch-cycles 8]
 package main
 
 import (
@@ -35,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"swiftsim/internal/cliutil"
 	"swiftsim/internal/obs"
 	"swiftsim/internal/service"
 )
@@ -59,9 +61,15 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	threads := fs.Int("threads", 0, "worker pool per sweep (0 = NumCPU)")
 	maxJobTimeout := fs.Duration("max-job-timeout", 5*time.Minute, "cap and default for per-job wall-clock budgets (0 = none)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for queued sweeps on shutdown")
+	engineThreads := fs.Int("engine-threads", 1, "default engine shards per simulation for specs that omit engine_threads (deterministic; the per-sweep job pool shrinks to threads/engine-threads)")
+	epochCycles := fs.Int("epoch-cycles", 1, "default relaxed-sync epoch length for specs that omit epoch_cycles (1 = exact per-cycle barrier; >1 trades bounded cycle drift for speed and requires -engine-threads > 1)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file for all sweeps")
 	traceLevel := fs.String("trace-level", "kernel", "trace detail: off|kernel|module|request")
 	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if err := cliutil.ValidateEpoch(*epochCycles, *engineThreads); err != nil {
+		fmt.Fprintln(stderr, "swiftsimd:", err)
 		return 1
 	}
 
@@ -96,6 +104,8 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		Workers:       *workers,
 		Threads:       *threads,
 		MaxJobTimeout: *maxJobTimeout,
+		EngineThreads: *engineThreads,
+		EpochCycles:   *epochCycles,
 		Trace:         tracer,
 	})
 	if err != nil {

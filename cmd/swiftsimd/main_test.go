@@ -131,6 +131,21 @@ func TestDaemonBadFlag(t *testing.T) {
 	}
 }
 
+// TestDaemonRejectsRelaxedEpochSerialEngine mirrors the cmd/sweep check:
+// a daemon default of -epoch-cycles > 1 without a parallel engine is a
+// configuration contradiction, rejected at startup.
+func TestDaemonRejectsRelaxedEpochSerialEngine(t *testing.T) {
+	var out, errw syncBuffer
+	code := realMain(context.Background(),
+		[]string{"-epoch-cycles", "8"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "-engine-threads") {
+		t.Errorf("stderr does not point at -engine-threads:\n%s", errw.String())
+	}
+}
+
 func TestDaemonBadTraceLevel(t *testing.T) {
 	var out, errw syncBuffer
 	code := realMain(context.Background(),

@@ -2,7 +2,10 @@
 // ends (cmd/sweep, cmd/explore, cmd/swiftsimd).
 package cliutil
 
-import "strings"
+import (
+	"fmt"
+	"strings"
+)
 
 // SplitList splits a comma-separated flag value into its elements,
 // trimming surrounding whitespace and dropping empties. A bare
@@ -18,4 +21,20 @@ func SplitList(s string) []string {
 		}
 	}
 	return out
+}
+
+// ValidateEpoch checks the -epoch-cycles/-engine-threads flag combination.
+// Relaxed-sync epochs only exist in a parallel engine assembly: asking for
+// epochCycles > 1 on a serial run (engineThreads <= 1) would be silently
+// ignored by the simulator, so the front ends reject the contradiction up
+// front with an actionable message instead. Negative values are rejected
+// outright; epochCycles of 0 or 1 (exact mode) pass with any thread count.
+func ValidateEpoch(epochCycles, engineThreads int) error {
+	if epochCycles < 0 {
+		return fmt.Errorf("-epoch-cycles must be >= 0, got %d", epochCycles)
+	}
+	if epochCycles > 1 && engineThreads <= 1 {
+		return fmt.Errorf("-epoch-cycles %d needs a parallel engine: pass -engine-threads > 1 (or drop -epoch-cycles for the exact serial run)", epochCycles)
+	}
+	return nil
 }

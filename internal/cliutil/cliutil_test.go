@@ -33,3 +33,35 @@ func TestSplitList(t *testing.T) {
 		})
 	}
 }
+
+func TestValidateEpoch(t *testing.T) {
+	tests := []struct {
+		name    string
+		epoch   int
+		threads int
+		wantErr bool
+	}{
+		{"defaults", 0, 0, false},
+		{"exact serial", 1, 1, false},
+		{"exact parallel", 1, 8, false},
+		{"zero epoch with threads", 0, 4, false},
+		{"relaxed parallel", 8, 4, false},
+		{"relaxed two threads", 2, 2, false},
+		{"large epoch parallel", 1024, 2, false},
+		{"relaxed serial", 8, 1, true},
+		{"relaxed zero threads", 8, 0, true},
+		{"relaxed negative threads", 8, -1, true},
+		{"smallest relaxed serial", 2, 1, true},
+		{"negative epoch", -1, 4, true},
+		{"negative epoch serial", -3, 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := ValidateEpoch(tt.epoch, tt.threads)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("ValidateEpoch(%d, %d) = %v, want error %v",
+					tt.epoch, tt.threads, err, tt.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,41 @@
+// Snapshot support (snap.Stateful) for the DRAM partition. Bank timing is
+// kept in absolute cycles, so bank-free times and open-row state carry
+// across a checkpoint unchanged (a bank may legitimately be booked past the
+// snapshot cycle by the last access before quiescence).
+package dram
+
+import (
+	"fmt"
+
+	"swiftsim/internal/snap"
+)
+
+// SnapSave implements snap.Stateful.
+func (p *Partition) SnapSave(w *snap.Writer) {
+	if len(p.queue) != 0 {
+		w.Fail(fmt.Errorf("%w: DRAM partition %s holds %d queued requests", snap.ErrNotQuiescent, p.name, len(p.queue)))
+		return
+	}
+	w.U64(uint64(p.banks))
+	for b := 0; b < p.banks; b++ {
+		w.U64(p.bankFreeAt[b])
+		w.U64(p.openRow[b])
+		w.Bool(p.rowOpen[b])
+	}
+}
+
+// SnapLoad implements snap.Stateful.
+func (p *Partition) SnapLoad(r *snap.Reader) error {
+	if n := r.Count(17); n != p.banks {
+		if r.Err() == nil {
+			r.Failf("DRAM partition %s: snapshot has %d banks, assembly has %d", p.name, n, p.banks)
+		}
+		return r.Err()
+	}
+	for b := 0; b < p.banks; b++ {
+		p.bankFreeAt[b] = r.U64()
+		p.openRow[b] = r.U64()
+		p.rowOpen[b] = r.Bool()
+	}
+	return r.Err()
+}

@@ -241,6 +241,9 @@ type Engine struct {
 	preStaging bool
 	preIdx     int
 	preStage   []stagedEvent
+	// epochK > 1 enables relaxed-sync epochs: shards run epochK local
+	// cycles between every barrier instead of one; see epoch.go.
+	epochK int
 	// segScratch/activeScratch/mergeCur are retained buffers for the
 	// barrier's segment snapshot, active-list rebuild and staged-queue
 	// merge (no per-cycle allocations in steady state).
@@ -418,7 +421,7 @@ func (e *Engine) Schedule(delay uint64, fn func()) {
 		// Parallel pre-phase (downstream drains): stage the event so its
 		// sequence number is assigned at the barrier, interleaved with the
 		// shard-staged events in exact serial order.
-		e.preStage = append(e.preStage, stagedEvent{idx: e.preIdx, delay: delay, fn: fn})
+		e.preStage = append(e.preStage, stagedEvent{idx: e.preIdx, cyc: e.cycle, delay: delay, fn: fn})
 		return
 	}
 	e.seq++
@@ -516,7 +519,7 @@ func (e *Engine) RunCtx(ctx context.Context, done func() bool, maxCycles uint64)
 		}
 		// All tickers idle: fast-forward to the next event.
 		if len(e.events) == 0 {
-			return e.cycle, ErrDeadlock
+			return e.cycle, fmt.Errorf("%w at cycle %d", ErrDeadlock, e.cycle)
 		}
 		next := e.events[0].cycle
 		if next <= e.cycle {
@@ -544,7 +547,11 @@ func (e *Engine) RunCtx(ctx context.Context, done func() bool, maxCycles uint64)
 // deterministic barrier and a serial tail; see tickSharded in parallel.go.
 func (e *Engine) tickActive() {
 	if e.nShards > 1 && e.pLo >= 0 {
-		e.tickSharded()
+		if e.epochK > 1 {
+			e.tickEpoch()
+		} else {
+			e.tickSharded()
+		}
 		return
 	}
 	e.tickPos = 0
@@ -593,6 +600,14 @@ func (e *Engine) tickSerialRange(hi int) {
 // anyBusy reports whether any ticker still has per-cycle work: an O(1)
 // counter check over the wake-aware modules, plus a Busy poll of the
 // legacy tickers (none in the standard assemblies).
+//
+// In relaxed-epoch mode a pending sharded entry also counts: the epoch's
+// catch-up phase skips the sharded segment, so an entry woken by a staged
+// completion event firing mid-catch-up has not been ticked since its wake
+// and its polled Busy state is stale (an SM recomputes busyCache only
+// inside Tick). The exact engine has no such window — an event-phase wake
+// is always followed by a same-cycle tick — so the scan is gated on
+// epochK to keep the exact path O(1).
 func (e *Engine) anyBusy() bool {
 	if e.busyCount > 0 {
 		return true
@@ -600,6 +615,13 @@ func (e *Engine) anyBusy() bool {
 	for _, idx := range e.legacy {
 		if e.entries[idx].t.Busy() {
 			return true
+		}
+	}
+	if e.epochK > 1 {
+		for _, idx := range e.active {
+			if idx >= e.pLo && idx <= e.pHi && e.entries[idx].pending {
+				return true
+			}
 		}
 	}
 	return false

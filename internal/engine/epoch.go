@@ -1,0 +1,254 @@
+// Relaxed-sync epoch execution.
+//
+// PR 5's sharded mode barriers every simulated cycle, which caps parallel
+// speedup at the barrier frequency. SetEpoch(k > 1) relaxes that: each
+// shard runs k consecutive local cycles between barriers, with every
+// cross-shard side effect (Schedule, Defer, pushes into a boundary queue)
+// captured together with the absolute cycle it happened at, and released
+// at the barrier in deterministic (cycle, registration index, phase)
+// order. The semantics are *bounded staleness*:
+//
+//   - shard-local state is always exact — a shard never observes a future
+//     value of its own modules;
+//   - cross-shard effects are correct-or-late — an event captured at local
+//     cycle T+j fires at its true cycle when that cycle has not yet been
+//     visited, and at the next event phase otherwise (never early);
+//   - serial modules (block scheduler, NoC, L2, DRAM) run every cycle of
+//     the epoch in catch-up order after the shards, consuming the staged
+//     traffic at the cycles it belongs to;
+//   - the schedule is a pure function of (assembly, k): results are
+//     independent of the thread count and host timing, so a relaxed run
+//     is still reproducible bit for bit.
+//
+// An epoch visits cycles [T, T+k-1] as:
+//
+//  1. serial head at T (exactly as in exact mode);
+//  2. shard passes: every shard with active entries runs k local cycles,
+//     rebuilding its pass list from its members' active flags between
+//     local cycles; PreTick drains run inside the pass (the assembly must
+//     give sharded modules shard-private downstream ports — see
+//     internal/sim's epoch boundary);
+//  3. barrier: active-list rebuild, busy-delta fold, staged flush in
+//     (cycle, index, phase) order — identical mechanics to tickSharded;
+//  4. serial tail at T;
+//  5. catch-up: for each remaining cycle T+1..T+k-1, fire due events and
+//     run the serial head and tail (the sharded segment is skipped — those
+//     modules already ran their local cycles).
+//
+// done()/maxCycles are evaluated at epoch granularity, so a run may
+// overshoot its natural end by up to k-1 cycles; the error-envelope
+// harness in internal/regress quantifies the resulting metric drift.
+package engine
+
+// SetEpoch sets the relaxed-sync epoch length in cycles. k <= 1 keeps the
+// exact barrier-per-cycle protocol (the default); k > 1 lets shards run k
+// local cycles between barriers. Call before Run, after SetParallel. The
+// assembly enabling epochs must route every sharded module's downstream
+// traffic through shard-private ports (bounded-staleness queues), because
+// PreTick drains are no longer hoisted into a serial pre-phase.
+func (e *Engine) SetEpoch(k int) {
+	if k < 1 {
+		k = 1
+	}
+	e.epochK = k
+}
+
+// EpochCycles returns the configured epoch length (1 = exact mode).
+func (e *Engine) EpochCycles() int {
+	if e.epochK < 1 {
+		return 1
+	}
+	return e.epochK
+}
+
+// Quiescent reports whether the engine holds no pending work at all: no
+// scheduled events and no busy ticker. Snapshots are only taken at
+// quiescent points — there is no in-flight state to serialize then.
+func (e *Engine) Quiescent() bool {
+	return len(e.events) == 0 && !e.anyBusy()
+}
+
+// runEpochPass is runPass's relaxed twin: the shard runs k consecutive
+// local cycles. Between local cycles the pass list is rebuilt from the
+// shard's members' active flags, so entries that went idle drop out and
+// entries woken locally (fills completing inside the shard) are picked up.
+// PreTick runs inside the pass immediately before Tick — with a
+// shard-private downstream port that is exactly the serial engine's
+// drain-then-tick order for this module.
+func (sc *shardCtx) runEpochPass(k int) {
+	e := sc.e
+	for off := 0; off < k; off++ {
+		sc.epochOff = uint64(off)
+		if off > 0 {
+			list := sc.list[:0]
+			for _, idx := range sc.members {
+				if e.entries[idx].active {
+					list = append(list, idx)
+				}
+			}
+			sc.list = list
+			if len(sc.list) == 0 {
+				break
+			}
+		}
+		cyc := e.cycle + uint64(off)
+		for sc.lpos = 0; sc.lpos < len(sc.list); sc.lpos++ {
+			idx := sc.list[sc.lpos]
+			sc.current = idx
+			en := &e.entries[idx]
+			en.pending = false
+			if en.pre != nil {
+				en.pre.PreTick(cyc)
+			}
+			en.t.Tick(cyc)
+			nowBusy := en.t.Busy()
+			if nowBusy != en.busy {
+				en.busy = nowBusy
+				if nowBusy {
+					sc.busyDelta++
+				} else {
+					sc.busyDelta--
+				}
+			}
+			if !nowBusy && !en.pending {
+				en.active = false
+			}
+		}
+		sc.current = -1
+	}
+	sc.epochOff = 0
+}
+
+// tickEpoch is one epoch of epochK simulated cycles in relaxed mode; see
+// the file comment for the phase structure. On return e.cycle sits at the
+// epoch's last cycle and e.tickedCycles has been advanced for all but one
+// of its cycles (the run loop's own increment covers the last), so the
+// outer loop's accounting is unchanged.
+func (e *Engine) tickEpoch() {
+	k := e.epochK
+
+	// Phase 1: serial head at the epoch's first cycle.
+	e.tickPos = 0
+	e.tickSerialRange(e.pLo - 1)
+	segStart := e.tickPos
+
+	// Snapshot the active sharded segment.
+	seg := e.segScratch[:0]
+	for pos := segStart; pos < len(e.active); pos++ {
+		idx := e.active[pos]
+		if idx > e.pHi {
+			break
+		}
+		seg = append(seg, idx)
+	}
+	e.segScratch = seg
+	if len(seg) == 0 {
+		// No sharded work: behave exactly like one serial cycle, so idle
+		// stretches still fast-forward event to event.
+		e.tickSerialRange(maxInt)
+		e.tickPos = -1
+		return
+	}
+
+	for _, idx := range seg {
+		sc := e.entries[idx].sctx
+		sc.list = append(sc.list, idx)
+	}
+
+	// Phase 2: run every shard with work for k local cycles.
+	nWork := 0
+	for _, sc := range e.shards {
+		if len(sc.list) > 0 {
+			sc.epochK = k
+			nWork++
+		}
+	}
+	if nWork == 1 || !e.workersUp {
+		for _, sc := range e.shards {
+			if len(sc.list) > 0 {
+				sc.staging = true
+				sc.safePass()
+				sc.staging = false
+			}
+		}
+	} else {
+		for _, sc := range e.shards {
+			if len(sc.list) > 0 {
+				sc.staging = true
+			}
+		}
+		e.workerWG.Add(nWork)
+		for _, sc := range e.shards {
+			if len(sc.list) > 0 {
+				sc.work <- struct{}{}
+			}
+		}
+		e.workerWG.Wait()
+		for _, sc := range e.shards {
+			sc.staging = false
+		}
+	}
+	for _, sc := range e.shards {
+		sc.epochK = 0
+	}
+	for _, sc := range e.shards {
+		if sc.panicVal != nil {
+			v, st := sc.panicVal, sc.panicStack
+			sc.panicVal, sc.panicStack = nil, nil
+			panic(&ShardPanic{Shard: sc.shard, Value: v, Stack: st})
+		}
+	}
+
+	// Phase 3: barrier — same mechanics as tickSharded's phase 4.
+	segEnd := segStart
+	for segEnd < len(e.active) && e.active[segEnd] <= e.pHi {
+		segEnd++
+	}
+	seg = seg[:0]
+	for idx := e.pLo; idx <= e.pHi; idx++ {
+		if e.entries[idx].active {
+			seg = append(seg, idx)
+		}
+	}
+	e.segScratch = seg
+	na := e.activeScratch[:0]
+	na = append(na, e.active[:segStart]...)
+	na = append(na, seg...)
+	na = append(na, e.active[segEnd:]...)
+	e.activeScratch, e.active = e.active, na
+	e.tickPos = segStart + len(seg)
+
+	for _, sc := range e.shards {
+		e.busyCount += sc.busyDelta
+		sc.busyDelta = 0
+		sc.list = sc.list[:0]
+	}
+	e.flushStagedEvents()
+	e.flushStagedDefers()
+
+	// Phase 4: serial tail at the epoch's first cycle.
+	e.tickSerialRange(maxInt)
+
+	// Phase 5: catch-up — the serial modules run the remaining k-1 cycles,
+	// consuming the traffic the shards staged for them at the cycles it
+	// belongs to. The sharded segment is skipped: those modules already ran
+	// their local cycles; entries woken meanwhile (fill completions) tick
+	// at the next epoch.
+	for j := 1; j < k; j++ {
+		e.tickPos = -1
+		e.cycle++
+		e.tickedCycles++
+		for len(e.events) > 0 && e.events[0].cycle <= e.cycle {
+			ev := e.events.pop()
+			e.firedEvents++
+			ev.fn()
+		}
+		e.tickPos = 0
+		e.tickSerialRange(e.pLo - 1)
+		for e.tickPos < len(e.active) && e.active[e.tickPos] <= e.pHi {
+			e.tickPos++
+		}
+		e.tickSerialRange(maxInt)
+	}
+	e.tickPos = -1
+}

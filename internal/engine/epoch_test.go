@@ -1,0 +1,236 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// staleTicker models the SM's cached-busy hazard: Busy() returns a cache
+// refreshed only inside Tick, so a wake arriving between ticks is not yet
+// reflected in the polled busy state — exactly the window the relaxed
+// engine's catch-up phase exposes.
+type staleTicker struct {
+	name      string
+	wake      func()
+	work      int
+	busyCache bool
+	ticks     int
+	tickLog   []uint64
+}
+
+func (s *staleTicker) Name() string        { return s.name }
+func (s *staleTicker) Kind() ModelKind     { return CycleAccurate }
+func (s *staleTicker) Busy() bool          { return s.busyCache }
+func (s *staleTicker) SetWake(wake func()) { s.wake = wake }
+func (s *staleTicker) Tick(cycle uint64) {
+	s.ticks++
+	s.tickLog = append(s.tickLog, cycle)
+	if s.work > 0 {
+		s.work--
+	}
+	s.busyCache = s.work > 0
+}
+
+// give adds work and wakes WITHOUT refreshing the busy cache, like a block
+// assignment or a fill completion landing between ticks.
+func (s *staleTicker) give(n int) {
+	s.work += n
+	s.wake()
+}
+
+// TestSetEpochClamp pins the configuration contract: the default and any
+// k < 1 mean exact mode.
+func TestSetEpochClamp(t *testing.T) {
+	e := New()
+	if got := e.EpochCycles(); got != 1 {
+		t.Errorf("default EpochCycles = %d, want 1", got)
+	}
+	e.SetEpoch(0)
+	if got := e.EpochCycles(); got != 1 {
+		t.Errorf("SetEpoch(0): EpochCycles = %d, want 1", got)
+	}
+	e.SetEpoch(8)
+	if got := e.EpochCycles(); got != 8 {
+		t.Errorf("SetEpoch(8): EpochCycles = %d, want 8", got)
+	}
+}
+
+// TestEpochK1MatchesSerial pins that SetEpoch(1) leaves the exact sharded
+// protocol untouched: the full per-module tick history equals the serial
+// engine's.
+func TestEpochK1MatchesSerial(t *testing.T) {
+	serial := newParallelFixture(8, 0, 2)
+	serial.run(t, 400)
+	want := serial.history()
+	f := newParallelFixture(8, 2, 2)
+	f.e.SetEpoch(1)
+	f.run(t, 400)
+	if got := f.history(); got != want {
+		t.Errorf("SetEpoch(1) diverged from serial:\n--- serial ---\n%s--- epoch k=1 ---\n%s", want, got)
+	}
+}
+
+// TestEpochReproducible pins relaxed-mode determinism at the engine level:
+// two identically built assemblies run with k=8 produce identical tick
+// histories, cycle for cycle, despite worker goroutine scheduling.
+func TestEpochReproducible(t *testing.T) {
+	for _, nShards := range []int{2, 4} {
+		base := newParallelFixture(8, nShards, nShards)
+		base.relax(8)
+		base.run(t, 400)
+		want := base.history()
+		for rep := 0; rep < 3; rep++ {
+			f := newParallelFixture(8, nShards, nShards)
+			f.relax(8)
+			f.run(t, 400)
+			if got := f.history(); got != want {
+				t.Fatalf("shards=%d rep=%d: relaxed run not reproducible:\n--- first ---\n%s--- rep ---\n%s",
+					nShards, rep, want, got)
+			}
+		}
+	}
+}
+
+// TestEpochIdleFastForward pins the empty-segment path: with no sharded
+// work, an epoch engine still fast-forwards event to event like the serial
+// one instead of grinding k cycles at a time.
+func TestEpochIdleFastForward(t *testing.T) {
+	e := New()
+	e.SetParallel(2)
+	e.SetEpoch(8)
+	e.Register(&wakeTicker{name: "head"})
+	e.RegisterSharded(&wakeTicker{name: "a"}, 0)
+	e.RegisterSharded(&wakeTicker{name: "b"}, 1)
+	done := false
+	e.Schedule(100_000, func() { done = true })
+	if _, err := e.Run(func() bool { return done }, 0); err != nil {
+		t.Fatal(err)
+	}
+	if e.Cycle() != 100_000 {
+		t.Errorf("Cycle = %d, want 100000", e.Cycle())
+	}
+	if e.TickedCycles() > 64 {
+		t.Errorf("TickedCycles = %d; idle stretch was not fast-forwarded", e.TickedCycles())
+	}
+}
+
+// TestEpochStaleWakeNoDeadlock is the regression test for the catch-up wake
+// hazard: an event firing during the epoch's catch-up phase wakes a sharded
+// module whose polled busy state is stale-false. The catch-up phase never
+// ticks the sharded segment, so without the pending-entry check in anyBusy
+// the engine saw "no events, nothing busy" at the epoch's end and declared
+// a deadlock. The woken module must instead be ticked in the next epoch.
+func TestEpochStaleWakeNoDeadlock(t *testing.T) {
+	e := New()
+	e.SetParallel(2)
+	e.SetEpoch(8)
+	e.Register(&wakeTicker{name: "head"})
+	sm := &staleTicker{name: "sm", work: 3, busyCache: true}
+	e.RegisterSharded(sm, 0)
+	e.RegisterSharded(&wakeTicker{name: "other"}, 1)
+
+	// Lands at catch-up cycle 3 of the first epoch [0..7]: the shard pass is
+	// over, so the wake leaves sm pending with a stale busy cache.
+	e.Schedule(3, func() { sm.give(1) })
+
+	if _, err := e.Run(func() bool { return sm.ticks >= 4 }, 10_000); err != nil {
+		t.Fatalf("relaxed run deadlocked on a stale wake: %v", err)
+	}
+	if sm.ticks < 4 {
+		t.Fatalf("sm ticked %d times, want 4", sm.ticks)
+	}
+	// The post-wake tick belongs to the next epoch, never the current one.
+	if last := sm.tickLog[len(sm.tickLog)-1]; last < 8 {
+		t.Errorf("post-wake tick at cycle %d; catch-up must not tick the sharded segment", last)
+	}
+}
+
+// TestEpochEventsNeverEarly pins the correct-or-late rule: a completion
+// event scheduled from inside a shard pass fires at or after its true
+// cycle, never before.
+func TestEpochEventsNeverEarly(t *testing.T) {
+	const k = 8
+	e := New()
+	e.SetParallel(2)
+	e.SetEpoch(k)
+	e.Register(&wakeTicker{name: "head"})
+	a := &wakeTicker{name: "a", work: 20}
+	b := &wakeTicker{name: "b", work: 20}
+	ctx := e.ShardContext(0)
+	type fire struct{ sched, actual uint64 }
+	var fires []fire
+	a.onTick = func(cycle uint64) {
+		if cycle%3 == 1 {
+			sched := cycle + 2
+			ctx.Schedule(2, func() {
+				fires = append(fires, fire{sched, e.Cycle()})
+			})
+		}
+	}
+	e.RegisterSharded(a, 0)
+	e.RegisterSharded(b, 1)
+	done := false
+	e.Schedule(60, func() { done = true })
+	if _, err := e.Run(func() bool { return done }, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(fires) == 0 {
+		t.Fatal("no staged events fired")
+	}
+	for i, f := range fires {
+		if f.actual < f.sched {
+			t.Errorf("fire %d: event scheduled for cycle %d fired early at %d", i, f.sched, f.actual)
+		}
+		if f.actual > f.sched+2*k {
+			t.Errorf("fire %d: event scheduled for cycle %d fired at %d, beyond the staleness bound", i, f.sched, f.actual)
+		}
+	}
+}
+
+// TestEpochQuiescent pins the snapshot gate: quiescent means no events and
+// no busy or pending module.
+func TestEpochQuiescent(t *testing.T) {
+	e := New()
+	w := &wakeTicker{name: "w"}
+	e.Register(w)
+	if !e.Quiescent() {
+		t.Fatal("fresh idle engine not quiescent")
+	}
+	e.Schedule(5, func() {})
+	if e.Quiescent() {
+		t.Fatal("engine with a scheduled event reported quiescent")
+	}
+	done := false
+	e.Schedule(6, func() { done = true })
+	if _, err := e.Run(func() bool { return done }, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Quiescent() {
+		t.Fatal("drained engine not quiescent")
+	}
+	w.give(1)
+	if e.Quiescent() {
+		t.Fatal("busy module reported quiescent")
+	}
+}
+
+// TestEpochHeavyTrafficReproducible stresses the barrier merge with many
+// shards and heavy cross-shard traffic at several epoch lengths; every
+// (shards, k) point must be self-consistent across repeats.
+func TestEpochHeavyTrafficReproducible(t *testing.T) {
+	for _, k := range []int{2, 8, 64} {
+		k := k
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			base := newParallelFixture(16, 4, 4)
+			base.relax(k)
+			base.run(t, 600)
+			want := base.history()
+			f := newParallelFixture(16, 4, 4)
+			f.relax(k)
+			f.run(t, 600)
+			if got := f.history(); got != want {
+				t.Errorf("k=%d not reproducible:\n--- first ---\n%s--- second ---\n%s", k, want, got)
+			}
+		})
+	}
+}

@@ -76,9 +76,15 @@ type PreTicker interface {
 
 // stagedEvent is a Schedule call captured during a parallel phase, tagged
 // with the registration index of the module that issued it so the barrier
-// can replay the serial engine's sequence numbering.
+// can replay the serial engine's sequence numbering, and with the absolute
+// cycle at which it was issued. In exact mode the cycle is constant across
+// a barrier (every stage happens at the engine's current cycle), so the
+// merge order degenerates to the pure (index, phase) order of PR 5; in
+// relaxed-epoch mode the capture cycle leads the merge key so events from
+// different local cycles of one epoch keep their causal order.
 type stagedEvent struct {
 	idx   int
+	cyc   uint64 // absolute cycle the Schedule was issued at
 	delay uint64
 	fn    func()
 }
@@ -86,6 +92,7 @@ type stagedEvent struct {
 // stagedCall is a Defer call captured during a shard pass.
 type stagedCall struct {
 	idx int
+	cyc uint64 // absolute cycle the Defer was issued at
 	fn  func()
 }
 
@@ -100,11 +107,22 @@ type shardCtx struct {
 	// Schedule/Defer/wakes stage instead of applying.
 	staging bool
 
+	// members lists every registration index owned by this shard, in
+	// ascending order; relaxed-epoch passes rebuild the per-cycle list
+	// from it (see runEpochPass).
+	members []int
+
 	// pass state: list is the shard's active entries this cycle (ascending
 	// registration index), lpos the cursor, current the index being ticked.
 	list    []int
 	lpos    int
 	current int
+
+	// relaxed-epoch pass state: epochK > 0 means safePass runs an epoch of
+	// that many local cycles; epochOff is the local cycle offset within it,
+	// so Cycle()/TickedCycles() report the shard's local time.
+	epochK   int
+	epochOff uint64
 
 	// staged side effects, merged at the barrier.
 	events    []stagedEvent
@@ -118,12 +136,12 @@ type shardCtx struct {
 	panicStack []byte
 }
 
-func (sc *shardCtx) Cycle() uint64        { return sc.e.cycle }
-func (sc *shardCtx) TickedCycles() uint64 { return sc.e.tickedCycles }
+func (sc *shardCtx) Cycle() uint64        { return sc.e.cycle + sc.epochOff }
+func (sc *shardCtx) TickedCycles() uint64 { return sc.e.tickedCycles + sc.epochOff }
 
 func (sc *shardCtx) Schedule(delay uint64, fn func()) {
 	if sc.staging {
-		sc.events = append(sc.events, stagedEvent{idx: sc.current, delay: delay, fn: fn})
+		sc.events = append(sc.events, stagedEvent{idx: sc.current, cyc: sc.Cycle(), delay: delay, fn: fn})
 		return
 	}
 	sc.e.Schedule(delay, fn)
@@ -131,7 +149,7 @@ func (sc *shardCtx) Schedule(delay uint64, fn func()) {
 
 func (sc *shardCtx) Defer(fn func()) {
 	if sc.staging {
-		sc.defers = append(sc.defers, stagedCall{idx: sc.current, fn: fn})
+		sc.defers = append(sc.defers, stagedCall{idx: sc.current, cyc: sc.Cycle(), fn: fn})
 		return
 	}
 	fn()
@@ -199,6 +217,10 @@ func (sc *shardCtx) safePass() {
 			sc.panicStack = debug.Stack()
 		}
 	}()
+	if sc.epochK > 1 {
+		sc.runEpochPass(sc.epochK)
+		return
+	}
 	sc.runPass()
 }
 
@@ -265,6 +287,7 @@ func (e *Engine) RegisterSharded(t Ticker, shard int) {
 	en.pre, _ = t.(PreTicker)
 	e.entries = append(e.entries, en)
 	e.modules = append(e.modules, t)
+	e.shards[shard].members = append(e.shards[shard].members, idx)
 	if e.pLo < 0 || idx < e.pLo {
 		e.pLo = idx
 	}
@@ -445,11 +468,16 @@ func (e *Engine) tickSharded() {
 
 // flushStagedEvents merges preStage (phase 0: drain-time events) and the
 // per-shard event queues (phase 1: tick-time events) by ascending
-// (registration index, phase), assigning sequence numbers as it goes. Each
-// source queue is already sorted by index (passes run in registration
-// order), so this is a k-way merge over k = nShards+1 cursors. The
-// resulting (cycle, seq) order is exactly what a serial pass — drain then
-// tick, entry by entry — would have produced.
+// (capture cycle, registration index, phase), assigning sequence numbers
+// as it goes. Each source queue is already sorted by that key (passes run
+// cycle by cycle in registration order), so this is a k-way merge over
+// k = nShards+1 cursors. In exact mode every staged entry carries the same
+// capture cycle, so the (cycle, seq) order is exactly what a serial pass —
+// drain then tick, entry by entry — would have produced; in relaxed-epoch
+// mode the key additionally orders staged work across the local cycles of
+// one epoch. An event fires at its capture cycle plus its delay, which in
+// an epoch may lie in the barrier's past; the heap-push still works, and
+// the run loop fires it at the next event phase — late, never early.
 func (e *Engine) flushStagedEvents() {
 	nSrc := len(e.shards) + 1
 	if cap(e.mergeCur) < nSrc {
@@ -461,15 +489,19 @@ func (e *Engine) flushStagedEvents() {
 	}
 	for {
 		best := -1
+		var bestCyc uint64
 		bestKey := 0
 		if cur[0] < len(e.preStage) {
 			best = 0
+			bestCyc = e.preStage[cur[0]].cyc
 			bestKey = e.preStage[cur[0]].idx << 1
 		}
 		for s, sc := range e.shards {
 			if c := cur[s+1]; c < len(sc.events) {
-				if k := sc.events[c].idx<<1 | 1; best == -1 || k < bestKey {
+				ev := &sc.events[c]
+				if k := ev.idx<<1 | 1; best == -1 || ev.cyc < bestCyc || (ev.cyc == bestCyc && k < bestKey) {
 					best = s + 1
+					bestCyc = ev.cyc
 					bestKey = k
 				}
 			}
@@ -488,7 +520,7 @@ func (e *Engine) flushStagedEvents() {
 		}
 		cur[best]++
 		e.seq++
-		e.events.push(event{cycle: e.cycle + ev.delay, seq: e.seq, fn: ev.fn})
+		e.events.push(event{cycle: ev.cyc + ev.delay, seq: e.seq, fn: ev.fn})
 	}
 	e.preStage = e.preStage[:0]
 	for _, sc := range e.shards {
@@ -496,20 +528,24 @@ func (e *Engine) flushStagedEvents() {
 	}
 }
 
-// flushStagedDefers runs the staged Defer calls in ascending registration
-// index of their staging module (FIFO within a module) — again the serial
-// execution order. The calls run with staging off, so anything they do
-// (wake the block scheduler, emit a trace event, schedule) applies
+// flushStagedDefers runs the staged Defer calls in ascending (capture
+// cycle, registration index) of their staging module (FIFO within a
+// module) — again the serial execution order, extended across the local
+// cycles of a relaxed epoch. The calls run with staging off, so anything
+// they do (wake the block scheduler, emit a trace event, schedule) applies
 // directly on the coordinator.
 func (e *Engine) flushStagedDefers() {
 	for {
 		best := -1
+		var bestCyc uint64
 		bestIdx := 0
 		for s, sc := range e.shards {
 			if sc.dpos < len(sc.defers) {
-				if i := sc.defers[sc.dpos].idx; best == -1 || i < bestIdx {
+				d := &sc.defers[sc.dpos]
+				if best == -1 || d.cyc < bestCyc || (d.cyc == bestCyc && d.idx < bestIdx) {
 					best = s
-					bestIdx = i
+					bestCyc = d.cyc
+					bestIdx = d.idx
 				}
 			}
 		}

@@ -18,8 +18,9 @@ type shardSM struct {
 	ctx     Context
 	wake    func()
 	work    int
-	budget  int // self-rescheduling allowance, bounds the run
-	pending int // downstream pushes emitted at the next PreTick
+	budget  int  // self-rescheduling allowance, bounds the run
+	pending int  // downstream pushes emitted at the next PreTick
+	relaxed bool // epoch mode: PreTick pushes must escape via Defer
 	down    *wakeTicker
 	coll    *wakeTicker
 	ticks   int
@@ -40,10 +41,21 @@ func (s *shardSM) give(n int) {
 }
 
 func (s *shardSM) PreTick(cycle uint64) {
-	if s.pending > 0 {
-		s.down.give(s.pending)
-		s.pending = 0
+	if s.pending == 0 {
+		return
 	}
+	n := s.pending
+	s.pending = 0
+	if s.relaxed {
+		// In relaxed mode (k > 1) PreTick runs on the shard goroutine, so
+		// a push into the shared downstream must escape through a
+		// shard-safe path — Defer here, standing in for the shard-private
+		// boundary ports a real relaxed assembly inserts (see
+		// internal/sim's epoch boundary).
+		s.ctx.Defer(func() { s.down.give(n) })
+		return
+	}
+	s.down.give(n)
 }
 
 func (s *shardSM) Tick(cycle uint64) {
@@ -125,6 +137,17 @@ func newParallelFixture(nSMs, nShards, sibStep int) *parallelFixture {
 	}
 	e.Register(f.down)
 	return f
+}
+
+// relax switches the fixture into relaxed-epoch mode: SetEpoch(k) on the
+// engine, plus the SMs route their PreTick pushes through Defer — the
+// fixture analog of the shard-private boundary ports a relaxed assembly
+// must give its sharded modules (SetEpoch's documented contract).
+func (f *parallelFixture) relax(k int) {
+	f.e.SetEpoch(k)
+	for _, sm := range f.sms {
+		sm.relaxed = true
+	}
 }
 
 func (f *parallelFixture) run(t *testing.T, horizon uint64) {

@@ -47,6 +47,10 @@ type Params struct {
 	// parallel phase of Figure 5 divides its job pool by this, keeping the
 	// total thread budget at Threads. 0 or 1 runs each simulation serially.
 	EngineThreads int
+	// EpochCycles sets the relaxed-sync epoch length of every parallel
+	// simulation (see sim.Options.EpochCycles); meaningful only with
+	// EngineThreads > 1. 0 or 1 keeps the exact per-cycle barrier.
+	EpochCycles int
 	// HW holds the golden-model coefficients (zero value = defaults).
 	HW hwmodel.Params
 	// Ctx cancels the whole experiment (nil = context.Background).
@@ -348,7 +352,7 @@ func Figure5(p Params) (*Fig5Result, error) {
 		start := time.Now()
 		outs := runner.Run(mkJobs(kind), threads, runner.Options{
 			Ctx: p.Ctx, JobTimeout: p.JobTimeout, Trace: p.Trace,
-			EngineThreads: p.EngineThreads,
+			EngineThreads: p.EngineThreads, EpochCycles: p.EpochCycles,
 		})
 		for i, o := range outs {
 			if o.Err != nil {
@@ -485,7 +489,7 @@ func Figure6(p Params) (*Fig6Result, error) {
 			}
 			return runner.Run(jobs, p.Threads, runner.Options{
 				Ctx: p.Ctx, JobTimeout: p.JobTimeout, Trace: p.Trace,
-				EngineThreads: p.EngineThreads,
+				EngineThreads: p.EngineThreads, EpochCycles: p.EpochCycles,
 			})
 		}
 		// Stage 2: Detailed sweep; stage 3: Basic, only for apps whose

@@ -1,0 +1,257 @@
+package regress
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"swiftsim/internal/sim"
+	"swiftsim/internal/workload"
+)
+
+// epochKValues is the relaxed-sync sweep the oracles run: exact mode, a
+// moderate epoch, and an aggressive one.
+var epochKValues = []int{1, 8, 64}
+
+// TestGoldenCorpusEpochCycles is the relaxed-mode safety oracle over the
+// committed corpus: the golden corpus is Swift-Sim-Memory, which always
+// assembles serially, so EpochCycles at any value must leave all 60 cases
+// byte-identical to their fixtures — the relaxation must never leak into a
+// serial assembly.
+func TestGoldenCorpusEpochCycles(t *testing.T) {
+	corpus := goldenCorpus(t)
+	for _, k := range epochKValues {
+		for _, cs := range corpus.Cases() {
+			cs := cs
+			cs.Opts.EpochCycles = k
+			cs.Opts.EngineThreads = 4
+			t.Run(fmt.Sprintf("k=%d/%s/%s", k, cs.GPU.Name, cs.App), func(t *testing.T) {
+				res, err := cs.Run()
+				if err != nil {
+					t.Fatalf("simulation failed at EpochCycles=%d: %v", k, err)
+				}
+				want, err := os.ReadFile(GoldenPath(cs.GPU.Name, cs.App))
+				if err != nil {
+					t.Fatalf("missing golden fixture: %v", err)
+				}
+				if got := Canonical(res); !bytes.Equal(want, got) {
+					t.Errorf("EpochCycles=%d drifted from the golden fixture:\n%s",
+						k, DiffLines(want, got, 20))
+				}
+			})
+		}
+	}
+}
+
+// TestEpochK1MatchesSerial pins the tentpole's exactness guarantee: with
+// EpochCycles=1 (or unset) a parallel assembly routes through the exact
+// barrier-per-cycle protocol, so the cycle-accurate kinds must stay
+// byte-identical to their serial runs.
+func TestEpochK1MatchesSerial(t *testing.T) {
+	type cfg struct {
+		kind sim.Kind
+		apps []string
+	}
+	cases := []cfg{
+		{sim.Basic, []string{"BFS", "GEMM"}},
+		{sim.L2Hybrid, []string{"GEMM"}},
+		{sim.Detailed, []string{"GEMM"}},
+	}
+	if testing.Short() {
+		cases = []cfg{{sim.Basic, []string{"GEMM"}}}
+	}
+	gpu := DefaultCorpus().GPUs[0]
+	for _, c := range cases {
+		for _, name := range c.apps {
+			app, err := workload.Generate(name, 0.25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := sim.Run(app, gpu, sim.Options{Kind: c.kind})
+			if err != nil {
+				t.Fatalf("%s/%s serial: %v", c.kind, name, err)
+			}
+			want := Canonical(base)
+			res, err := sim.Run(app, gpu, sim.Options{Kind: c.kind, EngineThreads: 4, EpochCycles: 1})
+			if err != nil {
+				t.Fatalf("%s/%s k=1: %v", c.kind, name, err)
+			}
+			if got := Canonical(res); !bytes.Equal(want, got) {
+				t.Errorf("%s/%s: EpochCycles=1 diverged from serial:\n%s",
+					c.kind, name, DiffLines(want, got, 20))
+			}
+		}
+	}
+}
+
+// TestEpochRelaxedReproducible pins the tentpole's determinism guarantee
+// for k > 1: a relaxed run is a pure function of (configuration, k) — the
+// thread count and repetition must not change a single byte.
+func TestEpochRelaxedReproducible(t *testing.T) {
+	gpu := DefaultCorpus().GPUs[0]
+	apps := []string{"BFS", "GEMM"}
+	if testing.Short() {
+		apps = apps[:1]
+	}
+	for _, name := range apps {
+		app, err := workload.Generate(name, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := sim.Options{Kind: sim.Basic, EngineThreads: 2, EpochCycles: 8}
+		base, err := sim.Run(app, gpu, opts)
+		if err != nil {
+			t.Fatalf("%s threads=2: %v", name, err)
+		}
+		want := Canonical(base)
+		threadVals := []int{2, 4}
+		if n := runtime.NumCPU(); n > 4 {
+			threadVals = append(threadVals, n)
+		}
+		for _, threads := range threadVals {
+			o := opts
+			o.EngineThreads = threads
+			res, err := sim.Run(app, gpu, o)
+			if err != nil {
+				t.Fatalf("%s threads=%d: %v", name, threads, err)
+			}
+			if got := Canonical(res); !bytes.Equal(want, got) {
+				t.Errorf("%s: relaxed k=8 differs between threads=2 and threads=%d:\n%s",
+					name, threads, DiffLines(want, got, 20))
+			}
+		}
+	}
+}
+
+// --- The accuracy-envelope oracle -----------------------------------------
+
+// The envelope oracle quantifies relaxed-mode drift where it can actually
+// occur: the Basic configuration's sharded SMs and L1s over the shared
+// NoC/L2/DRAM. For every GPU preset it compares a k=8 relaxed run against
+// the serial baseline and requires the relative cycle error (in permille,
+// rounded up) to stay within the committed per-preset fixture. The fixtures
+// are regenerated with -update; relaxed runs are deterministic, so any
+// change in these numbers is a real behavior change and reviewed like a
+// golden diff.
+
+// envelopeK and envelopeThreads fix the operating point the fixtures pin.
+const (
+	envelopeK       = 8
+	envelopeThreads = 4
+)
+
+// envelopeApps are the Basic-kind applications the envelope tracks.
+var envelopeApps = []string{"BFS", "GEMM", "SM"}
+
+// EnvelopePath returns the fixture path for one GPU preset's error
+// envelope: testdata/epoch/<gpu>.envelope.
+func EnvelopePath(gpuName string) string {
+	return filepath.Join("testdata", "epoch", gpuName+".envelope")
+}
+
+// envelopeHeader identifies the fixture format and operating point.
+var envelopeHeader = fmt.Sprintf("swiftsim-epoch-envelope 1 kind=%s k=%d threads=%d",
+	sim.Basic, envelopeK, envelopeThreads)
+
+// relErrPermille returns |got-want| / want in permille, rounded up.
+func relErrPermille(want, got uint64) uint64 {
+	d := got - want
+	if got < want {
+		d = want - got
+	}
+	if want == 0 {
+		if d == 0 {
+			return 0
+		}
+		return 1000
+	}
+	return (d*1000 + want - 1) / want
+}
+
+// parseEnvelope reads a committed envelope fixture into app → max permille.
+func parseEnvelope(t *testing.T, path string) map[string]uint64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing envelope fixture (regenerate with -update): %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) == 0 || lines[0] != envelopeHeader {
+		t.Fatalf("envelope fixture %s has header %q, want %q (regenerate with -update)",
+			path, lines[0], envelopeHeader)
+	}
+	out := make(map[string]uint64)
+	for _, ln := range lines[1:] {
+		var app string
+		var p uint64
+		if _, err := fmt.Sscanf(ln, "%s %d", &app, &p); err != nil {
+			t.Fatalf("envelope fixture %s: bad line %q: %v", path, ln, err)
+		}
+		out[app] = p
+	}
+	return out
+}
+
+// TestEpochRelaxedEnvelope is the accuracy oracle: per-preset, per-app
+// relative cycle error of the k=8 relaxed Basic run against its serial
+// baseline, bounded by the committed envelope.
+func TestEpochRelaxedEnvelope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("envelope oracle runs the full preset sweep")
+	}
+	for _, gpu := range DefaultCorpus().GPUs {
+		gpu := gpu
+		t.Run(gpu.Name, func(t *testing.T) {
+			got := make(map[string]uint64, len(envelopeApps))
+			for _, name := range envelopeApps {
+				app, err := workload.Generate(name, 0.25)
+				if err != nil {
+					t.Fatal(err)
+				}
+				base, err := sim.Run(app, gpu, sim.Options{Kind: sim.Basic})
+				if err != nil {
+					t.Fatalf("%s serial: %v", name, err)
+				}
+				relaxed, err := sim.Run(app, gpu, sim.Options{
+					Kind: sim.Basic, EngineThreads: envelopeThreads, EpochCycles: envelopeK})
+				if err != nil {
+					t.Fatalf("%s relaxed: %v", name, err)
+				}
+				got[name] = relErrPermille(base.Cycles, relaxed.Cycles)
+				t.Logf("%s: serial %d cycles, k=%d relaxed %d cycles, error %d‰",
+					name, base.Cycles, envelopeK, relaxed.Cycles, got[name])
+			}
+			path := EnvelopePath(gpu.Name)
+			if *update {
+				var b strings.Builder
+				b.WriteString(envelopeHeader + "\n")
+				for _, name := range envelopeApps {
+					fmt.Fprintf(&b, "%s %d\n", name, got[name])
+				}
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want := parseEnvelope(t, path)
+			for _, name := range envelopeApps {
+				bound, ok := want[name]
+				if !ok {
+					t.Errorf("%s missing from envelope fixture %s (regenerate with -update)", name, path)
+					continue
+				}
+				if got[name] > bound {
+					t.Errorf("%s: k=%d relative cycle error %d‰ exceeds the committed envelope %d‰ (regenerate with -update if intended)",
+						name, envelopeK, got[name], bound)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,128 @@
+package regress
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"swiftsim/internal/sim"
+	"swiftsim/internal/workload"
+)
+
+// TestSnapshotRoundTrip is the checkpoint determinism oracle over the golden
+// corpus: every app is checkpointed at a mid-run quiescent kernel boundary,
+// the checkpoint is structurally validated, restored into a fresh assembly,
+// and the resumed run's canonical result must be byte-identical to an
+// uninterrupted run. The snapshotting run itself must also be unperturbed —
+// taking a checkpoint is observationally free.
+func TestSnapshotRoundTrip(t *testing.T) {
+	corpus := goldenCorpus(t)
+	for _, cs := range corpus.Cases() {
+		cs := cs
+		t.Run(fmt.Sprintf("%s/%s", cs.GPU.Name, cs.App), func(t *testing.T) {
+			base, err := cs.Run()
+			if err != nil {
+				t.Fatalf("base run: %v", err)
+			}
+			want := Canonical(base)
+
+			// Snapshot at roughly the middle of the run; the writer rolls
+			// forward to the first quiescent kernel boundary at or after it.
+			var buf bytes.Buffer
+			snapCase := cs
+			snapCase.Opts.SnapshotAt = base.Cycles / 2
+			snapCase.Opts.SnapshotTo = &buf
+			snapRes, err := snapCase.Run()
+			if err != nil {
+				t.Fatalf("snapshot run: %v", err)
+			}
+			if got := Canonical(snapRes); !bytes.Equal(want, got) {
+				t.Errorf("taking a snapshot perturbed the run:\n%s", DiffLines(want, got, 20))
+			}
+			if buf.Len() == 0 {
+				t.Fatal("snapshot run wrote no checkpoint")
+			}
+			if err := sim.ParseSnapshot(buf.Bytes()); err != nil {
+				t.Fatalf("checkpoint fails structural validation: %v", err)
+			}
+
+			restCase := cs
+			restCase.Opts.RestoreFrom = bytes.NewReader(buf.Bytes())
+			restRes, err := restCase.Run()
+			if err != nil {
+				t.Fatalf("restored run: %v", err)
+			}
+			if got := Canonical(restRes); !bytes.Equal(want, got) {
+				t.Errorf("restored run diverged from the uninterrupted run:\n%s",
+					DiffLines(want, got, 20))
+			}
+		})
+	}
+}
+
+// TestSnapshotCrossThreads pins the thread-count independence of the format:
+// a checkpoint of a parallel cycle-accurate run restores into a serial
+// assembly (and vice versa) with byte-identical final results. EngineThreads
+// is deliberately absent from the snapshot identity.
+//
+// The oracle runs the L2Hybrid configuration: its kernel boundaries are
+// quiescent (the analytic backend completes in-kernel), whereas Basic and
+// Detailed boundaries typically still carry fire-and-forget store
+// completions — those runs take the designed skip-or-fail path instead.
+func TestSnapshotCrossThreads(t *testing.T) {
+	gpu := DefaultCorpus().GPUs[0]
+	apps := []string{"BFS", "GEMM"}
+	if testing.Short() {
+		apps = apps[:1]
+	}
+	threads := runtime.NumCPU()
+	if threads < 2 {
+		threads = 2
+	}
+	for _, name := range apps {
+		app, err := workload.Generate(name, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := sim.Run(app, gpu, sim.Options{Kind: sim.L2Hybrid})
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		want := Canonical(base)
+
+		type leg struct {
+			label       string
+			saveThreads int
+			loadThreads int
+		}
+		legs := []leg{
+			{"parallel-to-serial", threads, 1},
+			{"serial-to-parallel", 1, threads},
+		}
+		for _, l := range legs {
+			var buf bytes.Buffer
+			_, err := sim.Run(app, gpu, sim.Options{
+				Kind:          sim.L2Hybrid,
+				EngineThreads: l.saveThreads,
+				SnapshotAt:    base.Cycles / 2,
+				SnapshotTo:    &buf,
+			})
+			if err != nil {
+				t.Fatalf("%s %s: snapshot run: %v", name, l.label, err)
+			}
+			res, err := sim.Run(app, gpu, sim.Options{
+				Kind:          sim.L2Hybrid,
+				EngineThreads: l.loadThreads,
+				RestoreFrom:   bytes.NewReader(buf.Bytes()),
+			})
+			if err != nil {
+				t.Fatalf("%s %s: restored run: %v", name, l.label, err)
+			}
+			if got := Canonical(res); !bytes.Equal(want, got) {
+				t.Errorf("%s %s: restored run diverged from serial baseline:\n%s",
+					name, l.label, DiffLines(want, got, 20))
+			}
+		}
+	}
+}

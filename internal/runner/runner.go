@@ -92,6 +92,12 @@ type Options struct {
 	// parallelism goes to the job pool. Jobs whose sim.Options already set
 	// EngineThreads keep their own value.
 	EngineThreads int
+	// EpochCycles sets each simulation's relaxed-sync epoch length (see
+	// sim.Options.EpochCycles): > 1 amortizes the intra-simulation barrier
+	// over that many cycles, trading a bounded cycle drift for speed.
+	// Meaningful only together with EngineThreads > 1. Jobs whose
+	// sim.Options already set EpochCycles keep their own value.
+	EpochCycles int
 }
 
 // Progress describes one finished job of a sweep.
@@ -224,7 +230,7 @@ func Run(jobs []Job, threads int, opts Options) []Outcome {
 	sweepStart := time.Now()
 	exec := func(worker, i int) Outcome {
 		jobStart := time.Since(sweepStart)
-		o := runJob(ctx, i, jobs[i], opts.JobTimeout, opts.Trace, opts.EngineThreads)
+		o := runJob(ctx, i, jobs[i], opts.JobTimeout, opts.Trace, opts.EngineThreads, opts.EpochCycles)
 		if opts.Trace.Enabled(obs.KernelLevel) {
 			failedArg := uint64(0)
 			if o.Err != nil {
@@ -274,7 +280,7 @@ func Run(jobs []Job, threads int, opts Options) []Outcome {
 // *JobError on the Outcome. With tracing on, the job's simulation records
 // into its own pid derived from the sweep tracer (j is a copy, so setting
 // its Opts.Trace never mutates the caller's Job slice).
-func runJob(ctx context.Context, i int, j Job, timeout time.Duration, tr *obs.Tracer, engineThreads int) Outcome {
+func runJob(ctx context.Context, i int, j Job, timeout time.Duration, tr *obs.Tracer, engineThreads, epochCycles int) Outcome {
 	if tr != nil {
 		// Pids are parent-relative so a caller holding a WithPid-derived
 		// tracer (the sweep service gives each sweep its own pid block)
@@ -284,6 +290,9 @@ func runJob(ctx context.Context, i int, j Job, timeout time.Duration, tr *obs.Tr
 	}
 	if engineThreads > 0 && j.Opts.EngineThreads == 0 {
 		j.Opts.EngineThreads = engineThreads
+	}
+	if epochCycles > 0 && j.Opts.EpochCycles == 0 {
+		j.Opts.EpochCycles = epochCycles
 	}
 	jobErr := func(cause error) *JobError {
 		return &JobError{JobIndex: i, App: jobApp(j), GPU: j.GPU.Name, Err: cause}

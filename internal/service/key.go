@@ -16,7 +16,7 @@ import (
 
 // keySchema versions the key derivation itself; bump it when the fields
 // folded into the key change.
-const keySchema = "swiftsim-service-key 1"
+const keySchema = "swiftsim-service-key 2"
 
 // jobKey derives the persistent cache key of one simulation job. Two jobs
 // share a key exactly when they are guaranteed byte-identical canonical
@@ -29,11 +29,12 @@ const keySchema = "swiftsim-service-key 1"
 //   - the full GPU configuration, via its canonical file serialization;
 //   - the trace content hash — content, not pointer or name, so a
 //     re-parsed or re-generated copy of the same workload still hits;
-//   - the result-affecting sim.Options fields. EngineThreads is
-//     deliberately excluded (results are byte-identical at every shard
-//     count); Scheduler and Trace must be unset — the service never sets
-//     them, and a custom scheduler would change results without changing
-//     the key.
+//   - the result-affecting sim.Options fields, including the relaxed-sync
+//     epoch length (k > 1 legitimately shifts cycle counts, so each k has
+//     its own cache line). EngineThreads is deliberately excluded (results
+//     are byte-identical at every shard count for a fixed epoch length);
+//     Scheduler and Trace must be unset — the service never sets them, and
+//     a custom scheduler would change results without changing the key.
 func jobKey(app *trace.App, gpu config.GPU, opts sim.Options) string {
 	h := sha256.New()
 	io.WriteString(h, keySchema+"\n")
@@ -42,9 +43,13 @@ func jobKey(app *trace.App, gpu config.GPU, opts sim.Options) string {
 	h.Write(config.Marshal(gpu))
 	th := trace.ContentHash(app)
 	h.Write(th[:])
-	fmt.Fprintf(h, "opts kind=%d hitrates=%d maxcycles=%d latencyscale=%g overhead=%d sample=%g\n",
+	epoch := opts.EpochCycles
+	if epoch < 1 {
+		epoch = 1
+	}
+	fmt.Fprintf(h, "opts kind=%d hitrates=%d maxcycles=%d latencyscale=%g overhead=%d sample=%g epoch=%d\n",
 		opts.Kind, opts.HitRates, opts.MaxCycles, opts.LatencyScale,
-		opts.ExtraKernelOverhead, opts.SampleBlocks)
+		opts.ExtraKernelOverhead, opts.SampleBlocks, epoch)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

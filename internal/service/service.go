@@ -55,6 +55,13 @@ type Config struct {
 	// MaxJobTimeout caps (and defaults) the per-job wall-clock budget a
 	// spec may request (0 = no cap, no default).
 	MaxJobTimeout time.Duration
+	// EngineThreads is the daemon-wide default engine shard count for
+	// specs that leave engine_threads unset (0 or 1 = serial engine).
+	EngineThreads int
+	// EpochCycles is the daemon-wide default relaxed-sync epoch length
+	// for specs that leave epoch_cycles unset (0 or 1 = exact mode). A
+	// value > 1 requires EngineThreads > 1; New rejects the contradiction.
+	EpochCycles int
 	// Trace is the daemon-wide observability handle (nil records
 	// nothing). Each sweep gets its own block of trace pids and the
 	// recorder is flushed after every finished sweep.
@@ -85,6 +92,15 @@ type Spec struct {
 	// FailFast cancels the sweep's remaining jobs after its first
 	// failure; never-started jobs finish as "skipped".
 	FailFast bool `json:"fail_fast,omitempty"`
+	// EngineThreads shards each simulation's engine (0 = the daemon's
+	// -engine-threads default). Results are byte-identical at every shard
+	// count, so it does not enter the cache key.
+	EngineThreads int `json:"engine_threads,omitempty"`
+	// EpochCycles is the relaxed-sync epoch length (0 = the daemon's
+	// -epoch-cycles default; 1 = exact per-cycle barrier). A value > 1
+	// requires engine_threads > 1 and legitimately shifts results, so it
+	// is part of the cache key.
+	EpochCycles int `json:"epoch_cycles,omitempty"`
 }
 
 // Job states reported in statuses and progress events.
@@ -155,6 +171,9 @@ type Sweep struct {
 	jobs       []job
 	jobTimeout time.Duration
 	failFast   bool
+	// engineThreads is the sweep's effective engine shard count; the
+	// runner shrinks its job pool by it so the thread budget holds.
+	engineThreads int
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -210,6 +229,12 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
+	if cfg.EngineThreads < 0 || cfg.EpochCycles < 0 {
+		return nil, fmt.Errorf("service: negative engine defaults (engine_threads %d, epoch_cycles %d)", cfg.EngineThreads, cfg.EpochCycles)
+	}
+	if cfg.EpochCycles > 1 && cfg.EngineThreads <= 1 {
+		return nil, fmt.Errorf("service: default epoch_cycles %d needs a parallel engine: set EngineThreads > 1", cfg.EpochCycles)
+	}
 	cache, err := NewCache(cfg.CacheDir)
 	if err != nil {
 		return nil, err
@@ -236,7 +261,7 @@ func New(cfg Config) (*Service, error) {
 // Submit validates and admits a sweep, returning it queued. The sweep
 // runs asynchronously; follow it with Status / WaitEvents / Results.
 func (s *Service) Submit(spec Spec) (*Sweep, error) {
-	jobs, timeout, err := s.resolve(spec)
+	jobs, timeout, engineThreads, err := s.resolve(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -256,12 +281,13 @@ func (s *Service) Submit(spec Spec) (*Sweep, error) {
 	s.pending += len(jobs)
 	s.nextID++
 	sw := &Sweep{
-		id:         fmt.Sprintf("s%d", s.nextID),
-		jobs:       jobs,
-		jobTimeout: timeout,
-		failFast:   spec.FailFast,
-		status:     make([]JobStatus, len(jobs)),
-		result:     make([][]byte, len(jobs)),
+		id:            fmt.Sprintf("s%d", s.nextID),
+		jobs:          jobs,
+		jobTimeout:    timeout,
+		failFast:      spec.FailFast,
+		engineThreads: engineThreads,
+		status:        make([]JobStatus, len(jobs)),
+		result:        make([][]byte, len(jobs)),
 	}
 	sw.cond = sync.NewCond(&sw.mu)
 	for i, jb := range jobs {
@@ -278,8 +304,9 @@ func (s *Service) Submit(spec Spec) (*Sweep, error) {
 
 // resolve expands a spec into its jobs (GPUs outermost, then apps, then
 // sims — the deterministic order of the regression corpus) and validates
-// every name up front so admission is all-or-nothing.
-func (s *Service) resolve(spec Spec) ([]job, time.Duration, error) {
+// every name up front so admission is all-or-nothing. The third return is
+// the sweep's effective engine shard count for the runner's pool split.
+func (s *Service) resolve(spec Spec) ([]job, time.Duration, int, error) {
 	appNames := spec.Apps
 	if len(appNames) == 0 {
 		appNames = workload.Names()
@@ -297,17 +324,38 @@ func (s *Service) resolve(spec Spec) ([]job, time.Duration, error) {
 		scale = 0.25
 	}
 	if scale < 0 {
-		return nil, 0, fmt.Errorf("service: negative scale %g", scale)
+		return nil, 0, 0, fmt.Errorf("service: negative scale %g", scale)
+	}
+
+	if spec.EngineThreads < 0 {
+		return nil, 0, 0, fmt.Errorf("service: negative engine_threads %d", spec.EngineThreads)
+	}
+	if spec.EpochCycles < 0 {
+		return nil, 0, 0, fmt.Errorf("service: negative epoch_cycles %d", spec.EpochCycles)
+	}
+	engineThreads := spec.EngineThreads
+	if engineThreads == 0 {
+		engineThreads = s.cfg.EngineThreads
+	}
+	epoch := spec.EpochCycles
+	if epoch == 0 {
+		epoch = s.cfg.EpochCycles
+	}
+	// The effective pair is validated, not the raw spec: a spec asking for
+	// engine_threads 1 against a daemon whose default epoch is relaxed
+	// would otherwise silently run an epoch the simulator ignores.
+	if epoch > 1 && engineThreads <= 1 {
+		return nil, 0, 0, fmt.Errorf("service: epoch_cycles %d needs a parallel engine: set engine_threads > 1 (or drop epoch_cycles for the exact run)", epoch)
 	}
 
 	var timeout time.Duration
 	if spec.JobTimeout != "" {
 		d, err := time.ParseDuration(spec.JobTimeout)
 		if err != nil {
-			return nil, 0, fmt.Errorf("service: job_timeout: %w", err)
+			return nil, 0, 0, fmt.Errorf("service: job_timeout: %w", err)
 		}
 		if d < 0 {
-			return nil, 0, fmt.Errorf("service: negative job_timeout %v", d)
+			return nil, 0, 0, fmt.Errorf("service: negative job_timeout %v", d)
 		}
 		timeout = d
 	}
@@ -319,7 +367,7 @@ func (s *Service) resolve(spec Spec) ([]job, time.Duration, error) {
 	for i, name := range appNames {
 		app, err := workload.Generate(name, scale)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
 		apps[i] = app
 	}
@@ -327,7 +375,7 @@ func (s *Service) resolve(spec Spec) ([]job, time.Duration, error) {
 	for i, name := range gpuNames {
 		g, ok := config.Preset(name)
 		if !ok {
-			return nil, 0, fmt.Errorf("service: unknown GPU preset %q (want one of %v)", name, config.PresetNames())
+			return nil, 0, 0, fmt.Errorf("service: unknown GPU preset %q (want one of %v)", name, config.PresetNames())
 		}
 		gpus[i] = g
 	}
@@ -335,7 +383,7 @@ func (s *Service) resolve(spec Spec) ([]job, time.Duration, error) {
 	for i, name := range simNames {
 		k, err := parseKind(name)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
 		kinds[i] = k
 	}
@@ -344,7 +392,7 @@ func (s *Service) resolve(spec Spec) ([]job, time.Duration, error) {
 	for _, g := range gpus {
 		for _, a := range apps {
 			for _, k := range kinds {
-				opts := sim.Options{Kind: k}
+				opts := sim.Options{Kind: k, EngineThreads: engineThreads, EpochCycles: epoch}
 				jobs = append(jobs, job{
 					app: a, gpu: g, opts: opts, sim: k.String(),
 					key: jobKey(a, g, opts),
@@ -352,7 +400,7 @@ func (s *Service) resolve(spec Spec) ([]job, time.Duration, error) {
 			}
 		}
 	}
-	return jobs, timeout, nil
+	return jobs, timeout, engineThreads, nil
 }
 
 // parseKind maps the spec's simulator spelling (the cmd/explore -sim
@@ -482,6 +530,10 @@ func (s *Service) runSweep(sw *Sweep) {
 			JobTimeout: sw.jobTimeout,
 			FailFast:   sw.failFast,
 			Trace:      tr,
+			// Each job's sim.Options already carries the sweep's effective
+			// EngineThreads/EpochCycles; passing EngineThreads here shrinks
+			// the runner's job pool so the thread budget stays bounded.
+			EngineThreads: sw.engineThreads,
 			OnStart: func(k int) {
 				s.startJob(sw, misses[k])
 			},

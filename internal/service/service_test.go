@@ -350,6 +350,10 @@ func TestSubmitValidation(t *testing.T) {
 		{"bad timeout", Spec{JobTimeout: "banana"}, "job_timeout"},
 		{"negative timeout", Spec{JobTimeout: "-1s"}, "negative"},
 		{"negative scale", Spec{Scale: -1}, "scale"},
+		{"negative engine_threads", Spec{EngineThreads: -1}, "engine_threads"},
+		{"negative epoch_cycles", Spec{EpochCycles: -1}, "epoch_cycles"},
+		{"relaxed epoch on serial engine", Spec{EpochCycles: 8}, "engine_threads"},
+		{"relaxed epoch with one thread", Spec{EpochCycles: 8, EngineThreads: 1}, "engine_threads"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -366,7 +370,7 @@ func TestMaxJobTimeoutClamp(t *testing.T) {
 	s := newService(t, Config{MaxJobTimeout: time.Minute})
 	spec := smallSpec()
 	spec.JobTimeout = "2h"
-	_, timeout, err := s.resolve(spec)
+	_, timeout, _, err := s.resolve(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,11 +378,11 @@ func TestMaxJobTimeoutClamp(t *testing.T) {
 		t.Errorf("timeout = %v, want clamped to 1m", timeout)
 	}
 	spec.JobTimeout = ""
-	if _, timeout, _ = s.resolve(spec); timeout != time.Minute {
+	if _, timeout, _, _ = s.resolve(spec); timeout != time.Minute {
 		t.Errorf("default timeout = %v, want 1m", timeout)
 	}
 	spec.JobTimeout = "1s"
-	if _, timeout, _ = s.resolve(spec); timeout != time.Second {
+	if _, timeout, _, _ = s.resolve(spec); timeout != time.Second {
 		t.Errorf("within-cap timeout = %v, want 1s", timeout)
 	}
 }
@@ -406,14 +410,20 @@ func TestJobKeyDiscriminates(t *testing.T) {
 		"rates": jobKey(a1, gpu, sim.Options{Kind: sim.Memory, HitRates: sim.ReuseDistance}),
 		"sample": jobKey(a1, gpu, sim.Options{Kind: sim.Memory,
 			SampleBlocks: 0.5}),
+		"epoch": jobKey(a1, gpu, sim.Options{Kind: sim.Memory,
+			EngineThreads: 4, EpochCycles: 8}),
 	}
 	for dim, k := range diff {
 		if k == base {
 			t.Errorf("key ignores %s", dim)
 		}
 	}
-	// EngineThreads is result-neutral and must share the key.
+	// EngineThreads is result-neutral and must share the key; so must the
+	// unset/explicit spellings of exact mode (EpochCycles 0 and 1).
 	if jobKey(a1, gpu, sim.Options{Kind: sim.Memory, EngineThreads: 4}) != base {
 		t.Error("key varies with EngineThreads (results are byte-identical)")
+	}
+	if jobKey(a1, gpu, sim.Options{Kind: sim.Memory, EpochCycles: 1}) != base {
+		t.Error("key separates EpochCycles 0 from 1 (both are exact mode)")
 	}
 }

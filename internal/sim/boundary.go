@@ -1,0 +1,164 @@
+// The relaxed-sync epoch boundary: bounded-staleness queues between the
+// sharded L1s and the shared memory system (NoC/L2/DRAM, or the analytical
+// Backend in the L2Hybrid assembly).
+//
+// In exact parallel mode (EpochCycles <= 1) the engine hoists every L1's
+// downstream drain into a serial pre-phase, so sharded caches can push into
+// the shared interconnect directly. In epoch mode drains run *inside* the
+// concurrent shard pass, so each L1 instead pushes into its own shard-private
+// boundary port, which always accepts and stamps the message with the
+// shard-local capture cycle. The boundary itself is a serial module
+// registered between the L1s and the interconnect; every visited cycle it
+// folds the port buffers together and delivers, in deterministic
+// (capture cycle, SM index, FIFO) order, exactly the messages whose capture
+// cycle has been reached — so downstream modules never observe a message
+// from their future, and the delivered schedule is a pure function of the
+// assembly and the epoch length (independent of thread count).
+//
+// Invariants:
+//   - per-port buffers are written only by the owning shard during the
+//     pass, and only read/cleared by the serial boundary tick — no locks;
+//   - a port's capture cycles are nondecreasing, so a stable sort on
+//     (cycle, port) preserves each L1's FIFO order;
+//   - messages refused by the downstream port (backpressure) are retried
+//     every cycle; Busy() reports pending traffic so the engine neither
+//     fast-forwards past it nor declares a deadlock while a request is
+//     parked here.
+//
+// The boundary intentionally does not implement engine.WakeAware: as a
+// legacy ticker it is permanently in the active set and Busy-polled every
+// cycle, which is exactly the always-on drain semantics it needs.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"swiftsim/internal/engine"
+	"swiftsim/internal/mem"
+	"swiftsim/internal/metrics"
+	"swiftsim/internal/snap"
+)
+
+// boundaryItem is one in-flight message with its capture metadata.
+type boundaryItem struct {
+	cyc uint64 // shard-local cycle the L1 pushed the message
+	ord int    // originating port (SM) index: the serial-order tie-break
+	r   *mem.Request
+}
+
+// epochBoundary carries cross-shard memory traffic between barriers.
+type epochBoundary struct {
+	name  string
+	down  mem.Port
+	ports []*boundaryPort
+	queue []boundaryItem // folded, sorted, awaiting delivery
+
+	messages *metrics.Counter // total messages carried
+	deferred *metrics.Counter // deliveries after the capture cycle (backpressure)
+}
+
+func newEpochBoundary(name string, down mem.Port, g *metrics.Gatherer) *epochBoundary {
+	return &epochBoundary{
+		name:     name,
+		down:     down,
+		messages: g.Counter(name + ".messages"),
+		deferred: g.Counter(name + ".deferred"),
+	}
+}
+
+// port returns a new shard-private entry port. ord must be unique and
+// ordered like the L1s' registration order (the SM index), and ctx must be
+// the owning L1's engine context so capture cycles are shard-local.
+func (b *epochBoundary) port(ord int, ctx engine.Context) mem.Port {
+	p := &boundaryPort{b: b, ord: ord, ctx: ctx}
+	b.ports = append(b.ports, p)
+	return p
+}
+
+// Name implements engine.Module.
+func (b *epochBoundary) Name() string { return b.name }
+
+// Kind implements engine.Module.
+func (b *epochBoundary) Kind() engine.ModelKind { return engine.CycleAccurate }
+
+// Busy implements engine.Ticker: pending traffic must keep the engine
+// visiting cycles. Called only from the engine's serial phases.
+func (b *epochBoundary) Busy() bool {
+	if len(b.queue) > 0 {
+		return true
+	}
+	for _, p := range b.ports {
+		if len(p.buf) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Tick implements engine.Ticker: fold the port buffers, restore serial
+// delivery order, and release everything captured at or before this cycle.
+func (b *epochBoundary) Tick(cycle uint64) {
+	folded := false
+	for _, p := range b.ports {
+		if len(p.buf) > 0 {
+			// Counted here, not in Accept: the ports run on concurrent
+			// shard goroutines and the counter is on the shared gatherer.
+			b.messages.Add(uint64(len(p.buf)))
+			b.queue = append(b.queue, p.buf...)
+			p.buf = p.buf[:0]
+			folded = true
+		}
+	}
+	if folded {
+		// Stable: items of one port at one cycle keep their FIFO order.
+		sort.SliceStable(b.queue, func(i, j int) bool {
+			if b.queue[i].cyc != b.queue[j].cyc {
+				return b.queue[i].cyc < b.queue[j].cyc
+			}
+			return b.queue[i].ord < b.queue[j].ord
+		})
+	}
+	n := 0
+	for n < len(b.queue) && b.queue[n].cyc <= cycle {
+		if !b.down.Accept(b.queue[n].r) {
+			break
+		}
+		if b.queue[n].cyc < cycle {
+			b.deferred.Inc()
+		}
+		n++
+	}
+	if n > 0 {
+		b.queue = append(b.queue[:0], b.queue[n:]...)
+	}
+}
+
+// SnapSave implements snap.Stateful: at a quiescent point no traffic is
+// parked here.
+func (b *epochBoundary) SnapSave(w *snap.Writer) {
+	if b.Busy() {
+		w.Fail(fmt.Errorf("%w: epoch boundary %s holds in-flight messages", snap.ErrNotQuiescent, b.name))
+	}
+}
+
+// SnapLoad implements snap.Stateful.
+func (b *epochBoundary) SnapLoad(r *snap.Reader) error { return r.Err() }
+
+// boundaryPort is one L1's shard-private entry into the boundary.
+type boundaryPort struct {
+	b   *epochBoundary
+	ord int
+	ctx engine.Context
+	buf []boundaryItem
+}
+
+// Accept implements mem.Port. It never refuses: downstream backpressure is
+// absorbed by the boundary queue (and surfaced through the deferred
+// counter), which is part of the relaxation — an L1 never stalls on the
+// shared interconnect mid-epoch. Runs on the owning shard's goroutine, so
+// it must touch only the shard-private buffer.
+func (p *boundaryPort) Accept(r *mem.Request) bool {
+	p.buf = append(p.buf, boundaryItem{cyc: p.ctx.Cycle(), ord: p.ord, r: r})
+	return true
+}

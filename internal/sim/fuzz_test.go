@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"swiftsim/internal/config"
+	"swiftsim/internal/trace"
+	"swiftsim/internal/workload"
+)
+
+// fuzzSeedSnapshot produces one real checkpoint to seed the corpus: a tiny
+// Memory-kind run snapshotted at its first kernel boundary.
+func fuzzSeedSnapshot(f *testing.F) []byte {
+	f.Helper()
+	gpu, ok := config.Preset("RTX2080Ti")
+	if !ok {
+		f.Fatal("missing RTX2080Ti preset")
+	}
+	app, err := workload.Generate("GEMM", 0.25)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := Run(app, gpu, Options{Kind: Memory, SnapshotTo: &buf}); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzParseSnapshot drives the checkpoint decoder with arbitrary bytes: it
+// must return a structured error or nil, never panic, and never allocate
+// proportionally to an attacker-controlled count field. The seed corpus
+// covers the interesting prefixes: a real checkpoint, truncations at every
+// framing layer, a corrupt magic, and a version from the future.
+func FuzzParseSnapshot(f *testing.F) {
+	valid := fuzzSeedSnapshot(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("SSIM"))
+	f.Add(valid[:4+4])                           // header only
+	f.Add(valid[:len(valid)/2])                  // mid-stream truncation
+	f.Add(valid[:len(valid)-1])                  // last byte missing
+	f.Add(append(append([]byte{}, valid...), 0)) // trailing garbage
+
+	// Corrupt magic.
+	bad := append([]byte{}, valid...)
+	bad[0] ^= 0xff
+	f.Add(bad)
+
+	// Version skew: bump the format version after the magic.
+	skew := append([]byte{}, valid...)
+	skew[4] ^= 0xff
+	f.Add(skew)
+
+	// Absurd count fields right after the identity section.
+	huge := append([]byte{}, valid[:16]...)
+	for i := 0; i < 8; i++ {
+		huge = append(huge, 0xff)
+	}
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must not panic; errors are the expected outcome for junk.
+		_ = ParseSnapshot(data)
+	})
+}
+
+// TestParseSnapshotErrors pins the decoder's structured-error contract on
+// the corpus the fuzzer starts from.
+func TestParseSnapshotErrors(t *testing.T) {
+	valid := fuzzSeedSnapshotT(t)
+	if err := ParseSnapshot(valid); err != nil {
+		t.Fatalf("valid checkpoint rejected: %v", err)
+	}
+
+	bad := append([]byte{}, valid...)
+	bad[0] ^= 0xff
+	if err := ParseSnapshot(bad); err == nil {
+		t.Error("corrupt magic accepted")
+	}
+
+	skew := append([]byte{}, valid...)
+	skew[4] ^= 0xff
+	if err := ParseSnapshot(skew); err == nil {
+		t.Error("version skew accepted")
+	}
+
+	for _, cut := range []int{0, 4, 8, 16, len(valid) / 2, len(valid) - 1} {
+		if err := ParseSnapshot(valid[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+
+	long := append(append([]byte{}, valid...), 0xAA)
+	if err := ParseSnapshot(long); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func fuzzSeedSnapshotT(t *testing.T) []byte {
+	t.Helper()
+	gpu, ok := config.Preset("RTX2080Ti")
+	if !ok {
+		t.Fatal("missing RTX2080Ti preset")
+	}
+	app, err := workload.Generate("GEMM", 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := Run(app, gpu, Options{Kind: Memory, SnapshotTo: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRestoreRejectsMismatch pins the identity checks: a checkpoint of one
+// run must refuse to restore into a differently configured one with
+// ErrSnapshotMismatch, not a crash or silent acceptance.
+func TestRestoreRejectsMismatch(t *testing.T) {
+	gpu, _ := config.Preset("RTX2080Ti")
+	other, _ := config.Preset("RTX3060")
+	app, err := workload.Generate("GEMM", 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfs, err := workload.Generate("BFS", 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := Run(app, gpu, Options{Kind: Memory, SnapshotTo: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	snapBytes := buf.Bytes()
+
+	cases := []struct {
+		label string
+		app   *trace.App
+		gpu   config.GPU
+		opts  Options
+	}{
+		{"different app", bfs, gpu, Options{Kind: Memory}},
+		{"different GPU", app, other, Options{Kind: Memory}},
+		{"different kind", app, gpu, Options{Kind: Basic}},
+		{"different latency scale", app, gpu, Options{Kind: Memory, LatencyScale: 2}},
+		{"different max cycles", app, gpu, Options{Kind: Memory, MaxCycles: 12345}},
+	}
+	for _, c := range cases {
+		c.opts.RestoreFrom = bytes.NewReader(snapBytes)
+		if _, err := Run(c.app, c.gpu, c.opts); !errors.Is(err, ErrSnapshotMismatch) {
+			t.Errorf("%s: want ErrSnapshotMismatch, got %v", c.label, err)
+		}
+	}
+
+	// The matching configuration restores cleanly.
+	res, err := Run(app, gpu, Options{Kind: Memory, RestoreFrom: bytes.NewReader(snapBytes)})
+	if err != nil {
+		t.Fatalf("matching restore failed: %v", err)
+	}
+	if res == nil || res.Cycles == 0 {
+		t.Error("matching restore produced an empty result")
+	}
+}

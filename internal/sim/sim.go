@@ -20,6 +20,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"io"
 	"math"
 	"time"
 
@@ -110,6 +111,33 @@ type Options struct {
 	// meters — and it has no per-SM cycle-accurate state worth sharding).
 	// Results are byte-identical at every value.
 	EngineThreads int
+	// EpochCycles is the relaxed-sync epoch length. In parallel assemblies
+	// (EngineThreads >= 2 and a Kind with sharded state) a value k > 1 lets
+	// every shard run k consecutive local cycles between barriers, with
+	// L1→interconnect traffic carried through bounded-staleness queues (see
+	// boundary.go) so no module ever observes a value from its future.
+	// 0 or 1 keeps the exact barrier-per-cycle protocol and byte-identical
+	// results; k > 1 trades a bounded, per-preset-quantified metric drift
+	// for fewer barriers. For a given (configuration, k) results are still
+	// bit-reproducible at every thread count. Serial assemblies (including
+	// Memory, which always runs serially) ignore it.
+	EpochCycles int
+	// SnapshotAt, together with SnapshotTo, checkpoints the run at the
+	// first quiescent kernel boundary at or after this cycle (0 = the
+	// first boundary); the run then continues normally.
+	SnapshotAt uint64
+	// SnapshotTo receives the versioned binary checkpoint (internal/snap
+	// format). nil disables snapshotting. If no kernel boundary at or
+	// after SnapshotAt is quiescent before the run ends, the run fails
+	// with a structured error rather than silently writing nothing.
+	SnapshotTo io.Writer
+	// RestoreFrom, when non-nil, resumes the run from a checkpoint written
+	// by SnapshotTo: already-simulated kernels are skipped and all module
+	// state (warmed L2, DRAM row state, scheduler counters, metrics) is
+	// restored. The checkpoint's identity — app, GPU, Kind, and every
+	// timing-relevant option including the effective epoch length — must
+	// match this run's; EngineThreads may differ freely.
+	RestoreFrom io.Reader
 	// SampleBlocks in (0,1) enables block-level sampled simulation in
 	// the spirit of the sampling work the paper cites as orthogonal:
 	// only the first ceil(fraction×blocks) blocks of each kernel are
@@ -241,7 +269,27 @@ func RunCtx(ctx context.Context, app *trace.App, gpu config.GPU, opts Options) (
 
 	var overhead, extrapolated uint64
 	kernelCycles := make([]uint64, 0, len(app.Kernels))
-	for ki, k := range app.Kernels {
+	firstKernel := 0
+	if opts.RestoreFrom != nil {
+		st, err := readSnapshot(a, app, gpu, opts, sampled)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s: restore: %w", app.Name, err)
+		}
+		firstKernel = st.nextKernel
+		kernelCycles = append(kernelCycles, st.kernelCycles...)
+		extrapolated = st.extrapolated
+		overhead = st.overhead
+	}
+	snapshotPending := opts.SnapshotTo != nil
+	for ki := firstKernel; ki < len(app.Kernels); ki++ {
+		k := app.Kernels[ki]
+		if snapshotPending && a.eng.Cycle() >= opts.SnapshotAt {
+			taken, err := writeSnapshot(a, app, gpu, opts, sampled, ki, kernelCycles, extrapolated, overhead)
+			if err != nil {
+				return nil, fmt.Errorf("sim: %s: snapshot: %w", app.Name, err)
+			}
+			snapshotPending = !taken
+		}
 		a.kernelIndex = ki
 		// Kernel-boundary L1 invalidation (non-coherent GPU L1s are
 		// flushed between kernels); the L2 persists.
@@ -272,6 +320,22 @@ func RunCtx(ctx context.Context, app *trace.App, gpu config.GPU, opts Options) (
 				Ts: kStart, Dur: a.eng.Cycle() - kStart, Tid: ktid,
 				Arg1Name: "blocks", Arg1: uint64(len(k.Blocks)),
 				Arg2Name: "index", Arg2: uint64(ki)})
+		}
+	}
+	if snapshotPending {
+		// Final boundary: the end of the run. Covers SnapshotAt values in
+		// the last kernel and earlier boundaries skipped as non-quiescent.
+		if a.eng.Cycle() < opts.SnapshotAt {
+			return nil, fmt.Errorf("sim: %s: snapshot at cycle %d never taken: the run ended at cycle %d",
+				app.Name, opts.SnapshotAt, a.eng.Cycle())
+		}
+		taken, err := writeSnapshot(a, app, gpu, opts, sampled, len(app.Kernels), kernelCycles, extrapolated, overhead)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s: snapshot: %w", app.Name, err)
+		}
+		if !taken {
+			return nil, fmt.Errorf("sim: %s: no quiescent kernel boundary at or after cycle %d to snapshot",
+				app.Name, opts.SnapshotAt)
 		}
 	}
 	if tr.Enabled(obs.ModuleLevel) {
@@ -402,6 +466,20 @@ func assemble(gpu config.GPU, opts Options, prof *reuse.Profile) (*gpuAssembly, 
 		eng.SetPreSample(a.drain)
 	}
 
+	// Relaxed-sync epochs engage only in parallel assemblies; an epoch
+	// boundary (boundary.go) then carries each L1's downstream traffic,
+	// because PreTick drains run inside the concurrent shard pass instead
+	// of a serial pre-phase. Serial assemblies silently run exact — the
+	// CLIs reject that combination up front (cliutil.ValidateEpoch).
+	epochK := opts.EpochCycles
+	if epochK < 1 || nShards < 2 {
+		epochK = 1
+	}
+	var boundary *epochBoundary
+	if epochK > 1 {
+		eng.SetEpoch(epochK)
+	}
+
 	scale := opts.LatencyScale
 	smCfg := gpu.SM
 	if scale > 0 {
@@ -421,9 +499,16 @@ func assemble(gpu config.GPU, opts Options, prof *reuse.Profile) (*gpuAssembly, 
 		eng.AddModule(backend)
 		l1cfg := gpu.L1
 		l1cfg.HitLatency = scaleLat(l1cfg.HitLatency, scale)
+		if epochK > 1 {
+			boundary = newEpochBoundary("epochq", backend, g)
+		}
 		l1s := make([]*cache.Timed, gpu.NumSMs)
 		for i := range l1s {
-			l1s[i] = cache.NewTimed("l1", l1cfg, mem.LevelL1, ctxFor(i), backend, gFor(i))
+			var down mem.Port = backend
+			if boundary != nil {
+				down = boundary.port(i, ctxFor(i))
+			}
+			l1s[i] = cache.NewTimed("l1", l1cfg, mem.LevelL1, ctxFor(i), down, gFor(i))
 			l1s[i].SetTracer(opts.Trace)
 		}
 		a.l1s = l1s
@@ -439,6 +524,9 @@ func assemble(gpu config.GPU, opts Options, prof *reuse.Profile) (*gpuAssembly, 
 				} else {
 					eng.Register(l1)
 				}
+			}
+			if boundary != nil {
+				eng.Register(boundary)
 			}
 		}()
 	} else if opts.Kind != Memory {
@@ -503,9 +591,16 @@ func assemble(gpu config.GPU, opts Options, prof *reuse.Profile) (*gpuAssembly, 
 
 		l1cfg := gpu.L1
 		l1cfg.HitLatency = scaleLat(l1cfg.HitLatency, scale)
+		if epochK > 1 {
+			boundary = newEpochBoundary("epochq", interconnect, g)
+		}
 		l1s := make([]*cache.Timed, gpu.NumSMs)
 		for i := range l1s {
-			l1s[i] = cache.NewTimed("l1", l1cfg, mem.LevelL1, ctxFor(i), interconnect, gFor(i))
+			var down mem.Port = interconnect
+			if boundary != nil {
+				down = boundary.port(i, ctxFor(i))
+			}
+			l1s[i] = cache.NewTimed("l1", l1cfg, mem.LevelL1, ctxFor(i), down, gFor(i))
 			l1s[i].SetTracer(opts.Trace)
 		}
 		a.l1s = l1s
@@ -537,6 +632,12 @@ func assemble(gpu config.GPU, opts Options, prof *reuse.Profile) (*gpuAssembly, 
 				} else {
 					eng.Register(l1)
 				}
+			}
+			// The boundary ticks after the L1s and before the NoC, so
+			// released traffic enters the interconnect the same cycle it
+			// would have in exact mode's serial drain pre-phase.
+			if boundary != nil {
+				eng.Register(boundary)
 			}
 			eng.Register(interconnect)
 			for _, l2 := range l2s {

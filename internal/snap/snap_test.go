@@ -1,0 +1,162 @@
+package snap
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestWriterReaderRoundTrip pins every primitive through a full encode,
+// WriteTo, LoadHeader, decode cycle.
+func TestWriterReaderRoundTrip(t *testing.T) {
+	var w Writer
+	w.U64(0)
+	w.U64(math.MaxUint64)
+	w.U32(7)
+	w.Bool(true)
+	w.Bool(false)
+	w.F64(3.5)
+	w.F64(math.Inf(-1))
+	w.String("hello")
+	w.String("")
+	w.Bytes64([]byte{1, 2, 3})
+	w.Bytes64(nil)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadHeader(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.U64(); got != 0 {
+		t.Errorf("U64 = %d, want 0", got)
+	}
+	if got := r.U64(); got != math.MaxUint64 {
+		t.Errorf("U64 = %d, want MaxUint64", got)
+	}
+	if got := r.U32(); got != 7 {
+		t.Errorf("U32 = %d, want 7", got)
+	}
+	if got := r.Bool(); !got {
+		t.Error("Bool = false, want true")
+	}
+	if got := r.Bool(); got {
+		t.Error("Bool = true, want false")
+	}
+	if got := r.F64(); got != 3.5 {
+		t.Errorf("F64 = %v, want 3.5", got)
+	}
+	if got := r.F64(); !math.IsInf(got, -1) {
+		t.Errorf("F64 = %v, want -Inf", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Errorf("String = %q, want hello", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("String = %q, want empty", got)
+	}
+	if got := r.BytesN(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("BytesN = %v", got)
+	}
+	if got := r.BytesN(); len(got) != 0 {
+		t.Errorf("BytesN = %v, want empty", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("%d trailing bytes", r.Remaining())
+	}
+}
+
+// TestReaderTruncation pins the sticky ErrTruncated contract: reads past the
+// end fail once and every subsequent read keeps failing with zero values.
+func TestReaderTruncation(t *testing.T) {
+	var w Writer
+	w.U64(42)
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadHeader(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.U64()
+	if got := r.U64(); got != 0 {
+		t.Errorf("read past end = %d, want 0", got)
+	}
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Errorf("Err() = %v, want ErrTruncated", r.Err())
+	}
+	// Sticky: later reads keep the first error.
+	r.U32()
+	_ = r.String()
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Errorf("Err() after more reads = %v, want ErrTruncated", r.Err())
+	}
+}
+
+// TestLoadHeaderRejects pins the header validation: short input, a wrong
+// magic and a future version all fail with the right sentinel.
+func TestLoadHeaderRejects(t *testing.T) {
+	if _, err := LoadHeader(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("empty: %v, want ErrTruncated", err)
+	}
+	if _, err := LoadHeader([]byte("SS")); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short: %v, want ErrTruncated", err)
+	}
+	if _, err := LoadHeader([]byte("XXXX\x01\x00\x00\x00")); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad magic: %v, want ErrCorrupt", err)
+	}
+	if _, err := LoadHeader([]byte("SSIM\xff\x00\x00\x00")); !errors.Is(err, ErrVersion) {
+		t.Errorf("future version: %v, want ErrVersion", err)
+	}
+}
+
+// TestCountCapsAllocation pins the attacker-controlled-length guard: a count
+// field far beyond the remaining payload fails instead of allocating.
+func TestCountCapsAllocation(t *testing.T) {
+	var w Writer
+	w.U64(math.MaxUint64)
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadHeader(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Count(16); n != 0 {
+		t.Errorf("Count = %d, want 0", n)
+	}
+	if r.Err() == nil {
+		t.Error("absurd count accepted")
+	}
+}
+
+// TestFailSticky pins Writer.Fail: once failed, the payload is poisoned and
+// WriteTo refuses to emit it.
+func TestFailSticky(t *testing.T) {
+	var w Writer
+	w.U64(1)
+	wantErr := errors.New("boom")
+	w.Fail(wantErr)
+	w.U64(2)
+	if !errors.Is(w.Err(), wantErr) {
+		t.Errorf("Err() = %v, want boom", w.Err())
+	}
+	var buf bytes.Buffer
+	if _, err := w.WriteTo(&buf); !errors.Is(err, wantErr) {
+		t.Errorf("WriteTo = %v, want boom", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("WriteTo emitted %d bytes after Fail", buf.Len())
+	}
+}

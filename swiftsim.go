@@ -263,6 +263,29 @@ type Config struct {
 	// SwiftSimMemory always runs serially (its shared analytical memory
 	// model leaves no per-SM timed state to shard).
 	EngineThreads int
+	// EpochCycles > 1 relaxes the parallel barrier to every EpochCycles
+	// cycles (bounded-staleness epochs): shards run that many local cycles
+	// between synchronizations, with cross-shard memory traffic carried
+	// through deterministic staleness queues. Results remain bit-for-bit
+	// reproducible at any thread count but may drift from the exact run by
+	// a small cycle error (see the committed error envelopes in
+	// internal/regress/testdata/epoch). 0 or 1 — the default — keeps the
+	// exact protocol; serial assemblies ignore the setting.
+	EpochCycles int
+	// SnapshotAt requests a checkpoint at the first quiescent kernel
+	// boundary at or after this cycle, written to SnapshotTo. Taking a
+	// checkpoint never perturbs the run. Cycle 0 (with SnapshotTo set)
+	// checkpoints before the first kernel.
+	SnapshotAt uint64
+	// SnapshotTo receives the checkpoint stream; nil disables
+	// checkpointing.
+	SnapshotTo io.Writer
+	// RestoreFrom resumes a run from a checkpoint written by an identically
+	// configured run. EngineThreads may differ freely between the saving
+	// and restoring runs; every other timing-relevant setting (simulator,
+	// GPU, app, MaxCycles, sampling, epoch length) must match or the
+	// restore fails with sim.ErrSnapshotMismatch.
+	RestoreFrom io.Reader
 	// Trace records observability events for this simulation (see
 	// NewTracer). nil — the default — records nothing and costs nothing.
 	Trace *Tracer
@@ -289,6 +312,10 @@ func SimulateCtx(ctx context.Context, app *App, gpu GPU, cfg Config) (*Result, e
 		SampleBlocks:  cfg.SampleBlocks,
 		Trace:         cfg.Trace,
 		EngineThreads: cfg.EngineThreads,
+		EpochCycles:   cfg.EpochCycles,
+		SnapshotAt:    cfg.SnapshotAt,
+		SnapshotTo:    cfg.SnapshotTo,
+		RestoreFrom:   cfg.RestoreFrom,
 	})
 }
 
@@ -352,6 +379,10 @@ func SimulateAllOpts(jobs []Job, threads int, opts RunOptions) []Outcome {
 			SampleBlocks:  j.Cfg.SampleBlocks,
 			Trace:         j.Cfg.Trace,
 			EngineThreads: j.Cfg.EngineThreads,
+			EpochCycles:   j.Cfg.EpochCycles,
+			SnapshotAt:    j.Cfg.SnapshotAt,
+			SnapshotTo:    j.Cfg.SnapshotTo,
+			RestoreFrom:   j.Cfg.RestoreFrom,
 		}}
 	}
 	outs := runner.Run(rjobs, threads, opts)
