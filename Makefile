@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify tier1 lint golden fuzz-smoke bench bench-quick benchcmp update-golden
+.PHONY: verify tier1 lint golden fuzz-smoke bench bench-quick benchcmp update-golden envelopes
 
 # verify = tier-1 + lint + the golden regression corpus + a fuzz smoke of
 # both parsers. This is the full pre-commit gate.
@@ -18,7 +18,7 @@ tier1:
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/runner/... ./internal/engine/... ./internal/cache/... ./internal/noc/... ./internal/dram/... ./internal/obs/... ./internal/service/... ./internal/sim/... ./internal/snap/... ./cmd/swiftsimd/...
-	$(GO) test -race -run 'TestEpoch|TestSnapshot' ./internal/regress/
+	$(GO) test -race -run 'TestEpoch|TestSnapshot|TestSample' ./internal/regress/
 
 # lint enforces gofmt and go vet, and additionally runs staticcheck and
 # govulncheck when they are installed (they are optional: the build must
@@ -57,7 +57,7 @@ bench-quick:
 # bench records the perf-gate benchmarks (the ones with a committed
 # baseline) with enough repetitions for stable medians. Writes bench.txt.
 BENCH_PKGS = . ./internal/engine/
-BENCH_FILTER = 'BenchmarkSimulatorThroughput|BenchmarkGoldenCorpus|BenchmarkEngineActiveSet|BenchmarkObsOff|BenchmarkEngineParallel|BenchmarkEngineRelaxed'
+BENCH_FILTER = 'BenchmarkSimulatorThroughput|BenchmarkGoldenCorpus|BenchmarkEngineActiveSet|BenchmarkObsOff|BenchmarkEngineParallel|BenchmarkEngineRelaxed|BenchmarkEngineSampled'
 bench:
 	$(GO) test -run '^$$' -bench $(BENCH_FILTER) -benchtime 2x -count 5 $(BENCH_PKGS) | tee bench.txt
 
@@ -65,6 +65,11 @@ bench:
 # baseline (bench_baseline.txt) and fails if performance regressed below
 # 0.9x of it. Regenerate the baseline intentionally with
 # `make bench && cp bench.txt bench_baseline.txt`.
+#
+# Sampled execution must keep its speedup floor on every host: the
+# corpus=off/corpus=on pair of BenchmarkEngineSampled runs serial single
+# simulations, so unlike the sharding floors below it does not depend on
+# core count.
 #
 # On hosts with >= 4 cores it additionally requires the sharded engine to
 # reach the committed intra-simulation speedup floors — exact mode
@@ -74,9 +79,17 @@ bench:
 # available), so those gates are skipped.
 benchcmp: bench
 	$(GO) run ./cmd/benchcmp -gate 0.9 bench_baseline.txt bench.txt
+	$(GO) run ./cmd/benchcmp -within 'BenchmarkEngineSampled/corpus=off,BenchmarkEngineSampled/corpus=on,3.0' bench_baseline.txt bench.txt
 	@if [ "$$(nproc)" -ge 4 ]; then \
 		$(GO) run ./cmd/benchcmp -within 'BenchmarkEngineParallel/threads=1,BenchmarkEngineParallel/threads=4,1.8' bench_baseline.txt bench.txt; \
 		$(GO) run ./cmd/benchcmp -within 'BenchmarkEngineRelaxed/k=1,BenchmarkEngineRelaxed/k=8,1.1' bench_baseline.txt bench.txt; \
 	else \
 		echo "benchcmp: skipping engine speedup floors (nproc $$(nproc) < 4)"; \
 	fi
+
+# envelopes regenerates every committed accuracy envelope — the relaxed-
+# epoch drift fixtures and the sampled-execution error fixtures — in one
+# pass after an intended accuracy change. Review the fixture diffs like
+# golden diffs.
+envelopes:
+	$(GO) test -run 'TestEpochRelaxedEnvelope|TestSampleEnvelope' ./internal/regress/ -update

@@ -18,6 +18,7 @@ import (
 	"swiftsim/internal/regress"
 	"swiftsim/internal/runner"
 	"swiftsim/internal/sim"
+	"swiftsim/internal/trace"
 	"swiftsim/internal/workload"
 )
 
@@ -364,6 +365,55 @@ func BenchmarkEngineRelaxed(b *testing.B) {
 			}
 			if k == 1 && cycles != base.Cycles {
 				b.Fatalf("EpochCycles=1 cycles %d != serial %d", cycles, base.Cycles)
+			}
+			b.ReportMetric(float64(cycles), "gpu-cycles")
+		})
+	}
+}
+
+// BenchmarkEngineSampled measures the sampled-execution mode end to end: a
+// corpus of repeat-heavy applications (iterative GRU and LSTM, where
+// launch memoization replays most kernels, each surviving launch block-
+// sampled) under Swift-Sim-Basic on a 4-SM GPU, exact vs. default
+// sampling. The corpus=off/corpus=on pair feeds the `make benchcmp`
+// sampling speedup floor — the gate is host-size independent (serial
+// single simulations), so it runs even on small hosts where the engine
+// sharding floors are skipped. Accuracy of the same operating point is
+// pinned separately by the sample envelopes in internal/regress.
+func BenchmarkEngineSampled(b *testing.B) {
+	corpus := []struct {
+		name  string
+		scale float64
+	}{{"GRU", 2}, {"LSTM", 2}}
+	gpu := config.RTX2080Ti()
+	gpu.NumSMs = 4
+	gpu.MemPartitions = 2
+	apps := make([]*trace.App, len(corpus))
+	for i, c := range corpus {
+		w, err := workload.Generate(c.name, c.scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		apps[i] = w
+	}
+	for _, mode := range []struct {
+		name string
+		s    sim.Sampling
+	}{{"corpus=off", sim.Sampling{}}, {"corpus=on", sim.Sampling{Enabled: true}}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				cycles = 0
+				for j, w := range apps {
+					res, err := sim.Run(w, gpu, sim.Options{Kind: sim.Basic, Sampling: mode.s})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Sampled != mode.s.Enabled {
+						b.Fatalf("%s: Sampled=%t, want %t", corpus[j].name, res.Sampled, mode.s.Enabled)
+					}
+					cycles += res.Cycles
+				}
 			}
 			b.ReportMetric(float64(cycles), "gpu-cycles")
 		})

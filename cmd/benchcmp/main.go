@@ -20,10 +20,16 @@
 // -cpu suffix (-8 etc.) ignored. `make benchcmp` uses it on multi-core
 // hosts to require the sharded engine's threads=4 run to beat threads=1
 // by the committed speedup floor.
+//
+// -json FILE additionally writes the comparison — per-benchmark rows,
+// geomean, and the outcome of any -gate/-within checks — as JSON, the
+// machine-readable record behind the committed BENCH_PR*.json files. The
+// file is written even when a gate fails, so CI retains what tripped.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -44,6 +50,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	metric := fs.String("metric", "ns/op", "metric to compare (any unit present in the files)")
 	gate := fs.Float64("gate", 0, "fail (exit 2) if geomean speedup < this (0 = no gate)")
 	within := fs.String("within", "", "'A,B,ratio': fail (exit 2) unless median(A) >= ratio*median(B) in the new file (-cpu suffixes ignored)")
+	jsonOut := fs.String("json", "", "also write the comparison (rows, geomean, gates) as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
@@ -106,28 +113,90 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		gm = math.Exp(geo / float64(geoN))
 		fmt.Fprintf(stdout, "%-*s  %14s  %14s  %7.2fx\n", w, "geomean", "", "", gm)
 	}
+	code := 0
 	if *gate > 0 && gm < *gate {
 		fmt.Fprintf(stderr, "benchcmp: geomean speedup %.2fx below gate %.2fx\n", gm, *gate)
-		return 2
+		code = 2
+	}
+	rep := jsonReport{Metric: *metric, Geomean: round4(gm)}
+	if *gate > 0 {
+		rep.Gate = &jsonGate{Floor: *gate, Pass: gm >= *gate}
+	}
+	for _, r := range rows {
+		rep.Benchmarks = append(rep.Benchmarks, jsonRow{
+			Name: r.name, Old: r.old, New: r.new, Speedup: round4(r.speedup)})
 	}
 	if *within != "" {
-		return gateWithin(*within, new_, stdout, stderr)
+		res, wcode := gateWithin(*within, new_, stdout, stderr)
+		rep.Within = res
+		if wcode != 0 && (code == 0 || wcode == 1) {
+			code = wcode
+		}
 	}
-	return 0
+	if *jsonOut != "" {
+		// Written on failing gates too: CI keeps a machine-readable record
+		// of what tripped.
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "benchcmp: -json: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "benchcmp: -json: %v\n", err)
+			return 1
+		}
+	}
+	return code
 }
 
+// jsonReport is the -json output: the comparison table plus the outcome of
+// any gates, machine readable for dashboards and the committed BENCH_PR*
+// records.
+type jsonReport struct {
+	Metric     string      `json:"metric"`
+	Benchmarks []jsonRow   `json:"benchmarks"`
+	Geomean    float64     `json:"geomean"`
+	Gate       *jsonGate   `json:"gate,omitempty"`
+	Within     *jsonWithin `json:"within,omitempty"`
+}
+
+type jsonRow struct {
+	Name    string  `json:"name"`
+	Old     float64 `json:"old"`
+	New     float64 `json:"new"`
+	Speedup float64 `json:"speedup"`
+}
+
+type jsonGate struct {
+	Floor float64 `json:"floor"`
+	Pass  bool    `json:"pass"`
+}
+
+type jsonWithin struct {
+	Numerator   string  `json:"numerator"`
+	Denominator string  `json:"denominator"`
+	Speedup     float64 `json:"speedup"`
+	Floor       float64 `json:"floor"`
+	Pass        bool    `json:"pass"`
+}
+
+// round4 trims float noise so JSON speedups read like the table ("3.8831"
+// not "3.883142857142857").
+func round4(v float64) float64 { return math.Round(v*1e4) / 1e4 }
+
 // gateWithin enforces a -within 'A,B,ratio' constraint against the new
-// file's samples: median(A) >= ratio * median(B).
-func gateWithin(spec string, set *benchSet, stdout, stderr io.Writer) int {
+// file's samples: median(A) >= ratio * median(B). The returned jsonWithin
+// (nil on malformed specs) records the measurement for -json.
+func gateWithin(spec string, set *benchSet, stdout, stderr io.Writer) (*jsonWithin, int) {
 	parts := strings.Split(spec, ",")
 	if len(parts) != 3 {
 		fmt.Fprintf(stderr, "benchcmp: -within wants 'A,B,ratio', got %q\n", spec)
-		return 1
+		return nil, 1
 	}
 	ratio, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
 	if err != nil || ratio <= 0 {
 		fmt.Fprintf(stderr, "benchcmp: -within: bad ratio %q\n", parts[2])
-		return 1
+		return nil, 1
 	}
 	lookup := func(want string) []float64 {
 		want = stripCPUSuffix(strings.TrimSpace(want))
@@ -142,7 +211,7 @@ func gateWithin(spec string, set *benchSet, stdout, stderr io.Writer) int {
 	a, b := lookup(parts[0]), lookup(parts[1])
 	if len(a) == 0 || len(b) == 0 {
 		fmt.Fprintf(stderr, "benchcmp: -within: %q or %q not found in the new file\n", parts[0], parts[1])
-		return 1
+		return nil, 1
 	}
 	sp := 0.0
 	if mb := median(b); mb > 0 {
@@ -150,11 +219,18 @@ func gateWithin(spec string, set *benchSet, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "within: %s / %s = %.2fx (floor %.2fx)\n",
 		strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1]), sp, ratio)
+	res := &jsonWithin{
+		Numerator:   strings.TrimSpace(parts[0]),
+		Denominator: strings.TrimSpace(parts[1]),
+		Speedup:     round4(sp),
+		Floor:       ratio,
+		Pass:        sp >= ratio,
+	}
 	if sp < ratio {
 		fmt.Fprintf(stderr, "benchcmp: within-file speedup %.2fx below floor %.2fx\n", sp, ratio)
-		return 2
+		return res, 2
 	}
-	return 0
+	return res, 0
 }
 
 // stripCPUSuffix drops go test's trailing -GOMAXPROCS from a benchmark

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -96,6 +97,87 @@ func TestBadInput(t *testing.T) {
 	}
 	if code := realMain([]string{o}, &out, &errb); code != 1 {
 		t.Fatalf("exit %d, want 1 for wrong arg count", code)
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	o := writeTemp(t, "old.txt", oldBench)
+	n := writeTemp(t, "new.txt", newBench)
+	out := filepath.Join(t.TempDir(), "cmp.json")
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"-gate", "1.5", "-json", out, o, n}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("-json wrote nothing: %v", err)
+	}
+	var rep struct {
+		Metric     string `json:"metric"`
+		Benchmarks []struct {
+			Name    string  `json:"name"`
+			Speedup float64 `json:"speedup"`
+		} `json:"benchmarks"`
+		Geomean float64 `json:"geomean"`
+		Gate    *struct {
+			Floor float64 `json:"floor"`
+			Pass  bool    `json:"pass"`
+		} `json:"gate"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, data)
+	}
+	if rep.Metric != "ns/op" || len(rep.Benchmarks) != 2 {
+		t.Errorf("report has metric %q and %d rows, want ns/op and 2", rep.Metric, len(rep.Benchmarks))
+	}
+	if rep.Benchmarks[0].Speedup < 4.4 || rep.Benchmarks[0].Speedup > 4.5 {
+		t.Errorf("Detailed speedup %.4f, want ~4.44", rep.Benchmarks[0].Speedup)
+	}
+	if rep.Gate == nil || !rep.Gate.Pass || rep.Gate.Floor != 1.5 {
+		t.Errorf("gate record %+v, want pass at floor 1.5", rep.Gate)
+	}
+
+	// A failing gate must still write the file, recording pass=false.
+	if code := realMain([]string{"-gate", "10", "-json", out, o, n}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	data, err = os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Gate == nil || rep.Gate.Pass {
+		t.Errorf("failing gate recorded %+v, want pass=false", rep.Gate)
+	}
+}
+
+func TestJSONWithin(t *testing.T) {
+	o := writeTemp(t, "old.txt", withinBench)
+	n := writeTemp(t, "new.txt", withinBench)
+	out := filepath.Join(t.TempDir(), "cmp.json")
+	var stdout, stderr bytes.Buffer
+	spec := "BenchmarkEngineParallel/threads=1,BenchmarkEngineParallel/threads=4,1.8"
+	if code := realMain([]string{"-within", spec, "-json", out, o, n}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Within *struct {
+			Speedup float64 `json:"speedup"`
+			Floor   float64 `json:"floor"`
+			Pass    bool    `json:"pass"`
+		} `json:"within"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Within == nil || !rep.Within.Pass || rep.Within.Speedup != 2.05 {
+		t.Errorf("within record %+v, want pass at 2.05x", rep.Within)
 	}
 }
 

@@ -11,6 +11,7 @@
 //	swiftsim -app BFS -sim memory
 //	swiftsim -trace run.sgt -config mygpu.cfg -sim detailed -metrics
 //	swiftsim -app GEMM -sim detailed -engine-threads 4 -epoch-cycles 8
+//	swiftsim -app GRU -sim basic -sample
 //	swiftsim -app BFS -sim l2 -snapshot-at 5000 -snapshot-out warm.snap
 //	swiftsim -app BFS -sim l2 -restore warm.snap
 //	swiftsim -list
@@ -57,7 +58,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	cfgPath := fs.String("config", "", "hardware configuration file (overrides -gpu)")
 	simName := fs.String("sim", "detailed", "simulator: detailed|basic|memory|l2")
 	hitSrc := fs.String("hitrates", "functional", "memory-model hit-rate source: functional|reuse")
-	sample := fs.Float64("sample", 0, "block-sampling fraction in (0,1); 0 = full simulation")
+	samplePrefix := fs.Float64("sample-prefix", 0, "legacy prefix block-sampling fraction in (0,1); 0 = full simulation")
+	sample := fs.Bool("sample", false, "sampled execution: replay repeated kernel launches and simulate a representative block subset per launch")
+	sampleFrac := fs.Float64("sample-frac", 0, "with -sample: fraction of post-first-wave blocks to simulate in (0,1); 0 = default")
+	sampleStride := fs.Int("sample-stride", 0, "with -sample: re-simulate every Nth repeated launch (0 = default, 1 = no replay)")
 	engineThreads := fs.Int("engine-threads", 1, "engine shards ticking SMs concurrently (deterministic; 1 = serial)")
 	epochCycles := fs.Int("epoch-cycles", 1, "relaxed-sync epoch length (1 = exact per-cycle barrier; >1 trades bounded cycle drift for speed and requires -engine-threads > 1)")
 	snapshotAt := fs.Uint64("snapshot-at", 0, "write a snapshot at the first quiescent kernel boundary at or after this cycle (requires -snapshot-out)")
@@ -73,7 +77,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if err := cliutil.ValidateEpoch(*epochCycles, *engineThreads); err != nil {
+	if err := cliutil.ValidateModes(cliutil.Modes{
+		EngineThreads:  *engineThreads,
+		EpochCycles:    *epochCycles,
+		Sample:         *sample,
+		SampleFraction: *sampleFrac,
+		SampleStride:   *sampleStride,
+	}); err != nil {
 		return err
 	}
 	if *snapshotAt > 0 && *snapshotOut == "" {
@@ -120,9 +130,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 
 	cfg := swiftsim.Config{
-		SampleBlocks:  *sample,
+		SampleBlocks:  *samplePrefix,
 		EngineThreads: *engineThreads,
 		EpochCycles:   *epochCycles,
+	}
+	if *sample {
+		cfg.Sampling = swiftsim.Sampling{
+			Enabled:       true,
+			BlockFraction: *sampleFrac,
+			ReplayStride:  *sampleStride,
+		}
 	}
 	// The snapshot is staged in memory and written only after a successful
 	// run, so a failed simulation never leaves a truncated snapshot file.
@@ -217,7 +234,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "wall time    %s\n", res.Wall)
 	fmt.Fprintf(stdout, "ticked       %d cycles, fast-forwarded %d\n", res.TickedCycles, res.SkippedCycles)
 	if res.Sampled {
-		fmt.Fprintf(stdout, "sampling     block-sampled run; cycles are wave-extrapolated\n")
+		fmt.Fprintf(stdout, "sampling     sampled run; cycles include analytical extrapolation\n")
 	}
 	if len(res.KernelCycles) > 1 {
 		fmt.Fprintf(stdout, "kernels      ")

@@ -63,12 +63,21 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for queued sweeps on shutdown")
 	engineThreads := fs.Int("engine-threads", 1, "default engine shards per simulation for specs that omit engine_threads (deterministic; the per-sweep job pool shrinks to threads/engine-threads)")
 	epochCycles := fs.Int("epoch-cycles", 1, "default relaxed-sync epoch length for specs that omit epoch_cycles (1 = exact per-cycle barrier; >1 trades bounded cycle drift for speed and requires -engine-threads > 1)")
+	sample := fs.Bool("sample", false, "default sampled execution for specs that omit sample: replay repeated kernel launches and simulate a representative block subset per launch")
+	sampleFrac := fs.Float64("sample-frac", 0, "with -sample: default fraction of post-first-wave blocks to simulate in (0,1); 0 = simulator default")
+	sampleStride := fs.Int("sample-stride", 0, "with -sample: default launch re-simulation stride (0 = simulator default, 1 = no replay)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file for all sweeps")
 	traceLevel := fs.String("trace-level", "kernel", "trace detail: off|kernel|module|request")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
-	if err := cliutil.ValidateEpoch(*epochCycles, *engineThreads); err != nil {
+	if err := cliutil.ValidateModes(cliutil.Modes{
+		EngineThreads:  *engineThreads,
+		EpochCycles:    *epochCycles,
+		Sample:         *sample,
+		SampleFraction: *sampleFrac,
+		SampleStride:   *sampleStride,
+	}); err != nil {
 		fmt.Fprintln(stderr, "swiftsimd:", err)
 		return 1
 	}
@@ -98,7 +107,7 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		}
 	}
 
-	svc, err := service.New(service.Config{
+	svcCfg := service.Config{
 		CacheDir:      *cacheDir,
 		QueueDepth:    *queueDepth,
 		Workers:       *workers,
@@ -107,7 +116,15 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		EngineThreads: *engineThreads,
 		EpochCycles:   *epochCycles,
 		Trace:         tracer,
-	})
+	}
+	if *sample {
+		svcCfg.Sampling = service.SamplingDefaults{
+			Enabled:       true,
+			BlockFraction: *sampleFrac,
+			ReplayStride:  *sampleStride,
+		}
+	}
+	svc, err := service.New(svcCfg)
 	if err != nil {
 		fmt.Fprintln(stderr, "swiftsimd:", err)
 		return 1

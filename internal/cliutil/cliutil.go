@@ -23,18 +23,56 @@ func SplitList(s string) []string {
 	return out
 }
 
-// ValidateEpoch checks the -epoch-cycles/-engine-threads flag combination.
-// Relaxed-sync epochs only exist in a parallel engine assembly: asking for
-// epochCycles > 1 on a serial run (engineThreads <= 1) would be silently
-// ignored by the simulator, so the front ends reject the contradiction up
-// front with an actionable message instead. Negative values are rejected
-// outright; epochCycles of 0 or 1 (exact mode) pass with any thread count.
-func ValidateEpoch(epochCycles, engineThreads int) error {
-	if epochCycles < 0 {
-		return fmt.Errorf("-epoch-cycles must be >= 0, got %d", epochCycles)
+// Modes is the execution-mode flag set every front end exposes: the
+// engine-parallelism dial (-engine-threads), the relaxed-sync dial
+// (-epoch-cycles) and the sampled-execution dial (-sample, -sample-frac,
+// -sample-stride). ValidateModes checks them jointly.
+type Modes struct {
+	EngineThreads int
+	EpochCycles   int
+	Sample        bool
+	// SampleFraction is the -sample-frac value; 0 means the simulator's
+	// default. Only meaningful (and only validated) when Sample is set.
+	SampleFraction float64
+	// SampleStride is the -sample-stride value; 0 means the simulator's
+	// default, 1 disables launch replay. Only meaningful (and only
+	// validated) when Sample is set.
+	SampleStride int
+}
+
+// ValidateModes checks an execution-mode flag combination up front, so the
+// front ends fail with one actionable message instead of the simulator's
+// deeper error (or a silently ignored flag):
+//
+//   - Relaxed-sync epochs only exist in a parallel engine assembly:
+//     epochCycles > 1 on a serial run (engineThreads <= 1) would be
+//     silently ignored, so the contradiction is rejected. 0 or 1 (exact
+//     mode) pass with any thread count.
+//   - Sampling tuning flags without -sample would likewise be dead
+//     settings; a fraction or stride given while sampling is off is a
+//     contradiction, and an enabled fraction must lie in [0,1) with a
+//     non-negative stride.
+func ValidateModes(m Modes) error {
+	if m.EpochCycles < 0 {
+		return fmt.Errorf("-epoch-cycles must be >= 0, got %d", m.EpochCycles)
 	}
-	if epochCycles > 1 && engineThreads <= 1 {
-		return fmt.Errorf("-epoch-cycles %d needs a parallel engine: pass -engine-threads > 1 (or drop -epoch-cycles for the exact serial run)", epochCycles)
+	if m.EpochCycles > 1 && m.EngineThreads <= 1 {
+		return fmt.Errorf("-epoch-cycles %d needs a parallel engine: pass -engine-threads > 1 (or drop -epoch-cycles for the exact serial run)", m.EpochCycles)
+	}
+	if !m.Sample {
+		if m.SampleFraction != 0 {
+			return fmt.Errorf("-sample-frac %v has no effect without -sample", m.SampleFraction)
+		}
+		if m.SampleStride != 0 {
+			return fmt.Errorf("-sample-stride %d has no effect without -sample", m.SampleStride)
+		}
+		return nil
+	}
+	if m.SampleFraction < 0 || m.SampleFraction >= 1 {
+		return fmt.Errorf("-sample-frac must be in (0,1) (0 = simulator default), got %v", m.SampleFraction)
+	}
+	if m.SampleStride < 0 {
+		return fmt.Errorf("-sample-stride must be >= 0 (0 = simulator default, 1 = no replay), got %d", m.SampleStride)
 	}
 	return nil
 }

@@ -34,33 +34,43 @@ func TestSplitList(t *testing.T) {
 	}
 }
 
-func TestValidateEpoch(t *testing.T) {
+func TestValidateModes(t *testing.T) {
 	tests := []struct {
 		name    string
-		epoch   int
-		threads int
+		m       Modes
 		wantErr bool
 	}{
-		{"defaults", 0, 0, false},
-		{"exact serial", 1, 1, false},
-		{"exact parallel", 1, 8, false},
-		{"zero epoch with threads", 0, 4, false},
-		{"relaxed parallel", 8, 4, false},
-		{"relaxed two threads", 2, 2, false},
-		{"large epoch parallel", 1024, 2, false},
-		{"relaxed serial", 8, 1, true},
-		{"relaxed zero threads", 8, 0, true},
-		{"relaxed negative threads", 8, -1, true},
-		{"smallest relaxed serial", 2, 1, true},
-		{"negative epoch", -1, 4, true},
-		{"negative epoch serial", -3, 0, true},
+		{"defaults", Modes{}, false},
+		{"exact serial", Modes{EngineThreads: 1, EpochCycles: 1}, false},
+		{"exact parallel", Modes{EngineThreads: 8, EpochCycles: 1}, false},
+		{"zero epoch with threads", Modes{EngineThreads: 4}, false},
+		{"relaxed parallel", Modes{EngineThreads: 4, EpochCycles: 8}, false},
+		{"relaxed two threads", Modes{EngineThreads: 2, EpochCycles: 2}, false},
+		{"large epoch parallel", Modes{EngineThreads: 2, EpochCycles: 1024}, false},
+		{"relaxed serial", Modes{EngineThreads: 1, EpochCycles: 8}, true},
+		{"relaxed zero threads", Modes{EpochCycles: 8}, true},
+		{"relaxed negative threads", Modes{EngineThreads: -1, EpochCycles: 8}, true},
+		{"smallest relaxed serial", Modes{EngineThreads: 1, EpochCycles: 2}, true},
+		{"negative epoch", Modes{EngineThreads: 4, EpochCycles: -1}, true},
+		{"negative epoch serial", Modes{EpochCycles: -3}, true},
+
+		{"sampling default knobs", Modes{Sample: true}, false},
+		{"sampling explicit knobs", Modes{Sample: true, SampleFraction: 0.25, SampleStride: 4}, false},
+		{"sampling stride one", Modes{Sample: true, SampleStride: 1}, false},
+		{"sampling with parallel engine", Modes{Sample: true, EngineThreads: 4}, false},
+		{"sampling with relaxed epochs", Modes{Sample: true, EngineThreads: 4, EpochCycles: 8}, false},
+		{"sampling fraction one", Modes{Sample: true, SampleFraction: 1}, true},
+		{"sampling fraction negative", Modes{Sample: true, SampleFraction: -0.5}, true},
+		{"sampling stride negative", Modes{Sample: true, SampleStride: -1}, true},
+		{"fraction without sample", Modes{SampleFraction: 0.25}, true},
+		{"stride without sample", Modes{SampleStride: 4}, true},
+		{"sampling does not excuse bad epochs", Modes{Sample: true, EngineThreads: 1, EpochCycles: 8}, true},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			err := ValidateEpoch(tt.epoch, tt.threads)
+			err := ValidateModes(tt.m)
 			if (err != nil) != tt.wantErr {
-				t.Errorf("ValidateEpoch(%d, %d) = %v, want error %v",
-					tt.epoch, tt.threads, err, tt.wantErr)
+				t.Errorf("ValidateModes(%+v) = %v, want error %v", tt.m, err, tt.wantErr)
 			}
 		})
 	}

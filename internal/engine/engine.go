@@ -329,6 +329,26 @@ func (e *Engine) SkippedCycles() uint64 { return e.skippedCycles }
 // FiredEvents returns the number of scheduled events executed.
 func (e *Engine) FiredEvents() uint64 { return e.firedEvents }
 
+// ErrNotQuiescent reports an AdvanceTime call while the engine still holds
+// pending work.
+var ErrNotQuiescent = fmt.Errorf("engine: not quiescent: pending events or busy modules")
+
+// AdvanceTime moves the clock forward by delta cycles without ticking any
+// module — the analytical time-advance of sampled mode's launch replay: a
+// memoized kernel's duration is added to simulated time as if it had run,
+// with no per-cycle work. The engine must be quiescent (no scheduled
+// events, no busy ticker); otherwise in-flight work would silently jump
+// over the skipped interval and fire late. The advanced cycles count as
+// fast-forwarded in the ticked/skipped decomposition.
+func (e *Engine) AdvanceTime(delta uint64) error {
+	if !e.Quiescent() {
+		return ErrNotQuiescent
+	}
+	e.cycle += delta
+	e.skippedCycles += delta
+	return nil
+}
+
 // AddModule records a non-ticking module in the inventory.
 func (e *Engine) AddModule(m Module) {
 	e.modules = append(e.modules, m)

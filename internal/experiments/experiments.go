@@ -51,6 +51,11 @@ type Params struct {
 	// simulation (see sim.Options.EpochCycles); meaningful only with
 	// EngineThreads > 1. 0 or 1 keeps the exact per-cycle barrier.
 	EpochCycles int
+	// Sampling, when enabled, runs every simulation of the experiment in
+	// sampled execution mode (launch replay + representative-block
+	// sampling; see sim.Sampling). Reported cycles then include analytical
+	// extrapolation, so figure errors measure the sampling trade directly.
+	Sampling sim.Sampling
 	// HW holds the golden-model coefficients (zero value = defaults).
 	HW hwmodel.Params
 	// Ctx cancels the whole experiment (nil = context.Background).
@@ -100,6 +105,9 @@ func (p *Params) runSim(app *trace.App, gpu config.GPU, opts sim.Options) (*sim.
 		defer cancel()
 	}
 	opts.Trace = p.Trace
+	if p.Sampling.Enabled && !opts.Sampling.Enabled {
+		opts.Sampling = p.Sampling
+	}
 	return sim.RunCtx(ctx, app, gpu, opts)
 }
 
@@ -353,6 +361,7 @@ func Figure5(p Params) (*Fig5Result, error) {
 		outs := runner.Run(mkJobs(kind), threads, runner.Options{
 			Ctx: p.Ctx, JobTimeout: p.JobTimeout, Trace: p.Trace,
 			EngineThreads: p.EngineThreads, EpochCycles: p.EpochCycles,
+			Sampling: p.Sampling,
 		})
 		for i, o := range outs {
 			if o.Err != nil {
@@ -490,6 +499,7 @@ func Figure6(p Params) (*Fig6Result, error) {
 			return runner.Run(jobs, p.Threads, runner.Options{
 				Ctx: p.Ctx, JobTimeout: p.JobTimeout, Trace: p.Trace,
 				EngineThreads: p.EngineThreads, EpochCycles: p.EpochCycles,
+				Sampling: p.Sampling,
 			})
 		}
 		// Stage 2: Detailed sweep; stage 3: Basic, only for apps whose

@@ -113,6 +113,30 @@ func (g *Gatherer) Absorb(s *Gatherer) {
 	}
 }
 
+// FoldScaled scales every counter's growth since base (a Snapshot taken
+// earlier on this gatherer) by factor: each counter with delta d since base
+// gains an additional round((factor−1)×d), as if the observed activity had
+// happened factor times. Counters for which exempt returns true keep their
+// measured value (sampled mode exempts per-run gauges like "gpu.kernels"
+// that must not scale with block count). Counters created after base was
+// taken have an implicit base of zero. factor ≤ 1 and nil-base entries
+// leave counters untouched; rounding is half-up per counter.
+func (g *Gatherer) FoldScaled(base map[string]uint64, factor float64, exempt func(name string) bool) {
+	if factor <= 1 {
+		return
+	}
+	for _, c := range g.order {
+		if exempt != nil && exempt(c.name) {
+			continue
+		}
+		d := c.v - base[c.name]
+		if d == 0 {
+			continue
+		}
+		c.v += uint64(float64(d)*(factor-1) + 0.5)
+	}
+}
+
 // Snapshot copies all counters into a map.
 func (g *Gatherer) Snapshot() map[string]uint64 {
 	m := make(map[string]uint64, len(g.order))

@@ -89,8 +89,11 @@ type Options struct {
 	// the job-level worker pool to threads/EngineThreads so the sweep's
 	// total thread budget stays at `threads`. Few big jobs want a high
 	// EngineThreads; many small jobs want 1 (the default), where all
-	// parallelism goes to the job pool. Jobs whose sim.Options already set
-	// EngineThreads keep their own value.
+	// parallelism goes to the job pool. When EngineThreads exceeds the
+	// thread budget the pool clamps to one worker and jobs run one at a
+	// time at the full shard count — the engine's shard count is never
+	// reduced to fit, so results stay those of the requested configuration.
+	// Jobs whose sim.Options already set EngineThreads keep their own value.
 	EngineThreads int
 	// EpochCycles sets each simulation's relaxed-sync epoch length (see
 	// sim.Options.EpochCycles): > 1 amortizes the intra-simulation barrier
@@ -98,6 +101,11 @@ type Options struct {
 	// Meaningful only together with EngineThreads > 1. Jobs whose
 	// sim.Options already set EpochCycles keep their own value.
 	EpochCycles int
+	// Sampling, when enabled, runs each simulation in sampled execution
+	// mode (launch replay + representative-block sampling; see
+	// sim.Sampling). Jobs whose sim.Options already enable Sampling keep
+	// their own settings.
+	Sampling sim.Sampling
 }
 
 // Progress describes one finished job of a sweep.
@@ -230,7 +238,7 @@ func Run(jobs []Job, threads int, opts Options) []Outcome {
 	sweepStart := time.Now()
 	exec := func(worker, i int) Outcome {
 		jobStart := time.Since(sweepStart)
-		o := runJob(ctx, i, jobs[i], opts.JobTimeout, opts.Trace, opts.EngineThreads, opts.EpochCycles)
+		o := runJob(ctx, i, jobs[i], &opts)
 		if opts.Trace.Enabled(obs.KernelLevel) {
 			failedArg := uint64(0)
 			if o.Err != nil {
@@ -280,19 +288,23 @@ func Run(jobs []Job, threads int, opts Options) []Outcome {
 // *JobError on the Outcome. With tracing on, the job's simulation records
 // into its own pid derived from the sweep tracer (j is a copy, so setting
 // its Opts.Trace never mutates the caller's Job slice).
-func runJob(ctx context.Context, i int, j Job, timeout time.Duration, tr *obs.Tracer, engineThreads, epochCycles int) Outcome {
-	if tr != nil {
+func runJob(ctx context.Context, i int, j Job, opts *Options) Outcome {
+	timeout := opts.JobTimeout
+	if tr := opts.Trace; tr != nil {
 		// Pids are parent-relative so a caller holding a WithPid-derived
 		// tracer (the sweep service gives each sweep its own pid block)
 		// gets disjoint per-job pids; with the default parent pid 0 the
 		// jobs land on pids 1..N as before.
 		j.Opts.Trace = tr.WithPid(int(tr.Pid()) + i + 1)
 	}
-	if engineThreads > 0 && j.Opts.EngineThreads == 0 {
-		j.Opts.EngineThreads = engineThreads
+	if opts.EngineThreads > 0 && j.Opts.EngineThreads == 0 {
+		j.Opts.EngineThreads = opts.EngineThreads
 	}
-	if epochCycles > 0 && j.Opts.EpochCycles == 0 {
-		j.Opts.EpochCycles = epochCycles
+	if opts.EpochCycles > 0 && j.Opts.EpochCycles == 0 {
+		j.Opts.EpochCycles = opts.EpochCycles
+	}
+	if opts.Sampling.Enabled && !j.Opts.Sampling.Enabled {
+		j.Opts.Sampling = opts.Sampling
 	}
 	jobErr := func(cause error) *JobError {
 		return &JobError{JobIndex: i, App: jobApp(j), GPU: j.GPU.Name, Err: cause}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -423,5 +424,60 @@ func TestEngineThreadsBudgetSplit(t *testing.T) {
 	if pin[0].Result.Cycles != base[0].Result.Cycles {
 		t.Errorf("per-job EngineThreads override diverged: %d != %d",
 			pin[0].Result.Cycles, base[0].Result.Cycles)
+	}
+}
+
+// TestEngineThreadsClampToOneWorker pins the thread-budget clamp: when
+// EngineThreads exceeds the whole thread budget (threads/EngineThreads
+// rounds to zero), the job pool clamps to a single worker — jobs run
+// strictly one at a time at the full shard count, rather than shrinking
+// the shard count or deadlocking on an empty pool.
+func TestEngineThreadsClampToOneWorker(t *testing.T) {
+	names := []string{"BFS", "GEMM", "SM"}
+	gpu := config.RTX2080Ti()
+	gpu.NumSMs = 4
+	gpu.MemPartitions = 2
+	var jobs []Job
+	for _, n := range names {
+		app, err := workload.Generate(n, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, Job{App: app, GPU: gpu, Opts: sim.Options{Kind: sim.Basic}})
+	}
+	base := RunAll(jobs, 1)
+
+	// OnStart/OnProgress calls share one lock, so the running gauge is an
+	// exact concurrency measurement: with a single clamped worker it can
+	// never exceed one.
+	var mu sync.Mutex
+	running, maxRunning := 0, 0
+	out := Run(jobs, 2, Options{
+		EngineThreads: 8, // 2/8 -> 0 -> clamped to 1 worker
+		OnStart: func(int) {
+			mu.Lock()
+			running++
+			if running > maxRunning {
+				maxRunning = running
+			}
+			mu.Unlock()
+		},
+		OnProgress: func(Progress) {
+			mu.Lock()
+			running--
+			mu.Unlock()
+		},
+	})
+	if maxRunning != 1 {
+		t.Errorf("clamped pool ran %d jobs concurrently, want 1", maxRunning)
+	}
+	for i := range out {
+		if out[i].Err != nil {
+			t.Fatalf("job %d: %v", i, out[i].Err)
+		}
+		if out[i].Result.Cycles != base[i].Result.Cycles {
+			t.Errorf("%s: clamped run cycles %d != serial %d",
+				names[i], out[i].Result.Cycles, base[i].Result.Cycles)
+		}
 	}
 }

@@ -15,8 +15,9 @@ import (
 )
 
 // keySchema versions the key derivation itself; bump it when the fields
-// folded into the key change.
-const keySchema = "swiftsim-service-key 2"
+// folded into the key change. Schema 3 added the sampled-execution
+// parameters.
+const keySchema = "swiftsim-service-key 3"
 
 // jobKey derives the persistent cache key of one simulation job. Two jobs
 // share a key exactly when they are guaranteed byte-identical canonical
@@ -31,7 +32,11 @@ const keySchema = "swiftsim-service-key 2"
 //     re-parsed or re-generated copy of the same workload still hits;
 //   - the result-affecting sim.Options fields, including the relaxed-sync
 //     epoch length (k > 1 legitimately shifts cycle counts, so each k has
-//     its own cache line). EngineThreads is deliberately excluded (results
+//     its own cache line) and the sampled-execution parameters (a sampled
+//     run's cycles include analytical extrapolation, so each effective
+//     (fraction, stride, seed) triple has its own line — normalized via
+//     Sampling.Effective so "default by zero" and "default spelled out"
+//     share an entry). EngineThreads is deliberately excluded (results
 //     are byte-identical at every shard count for a fixed epoch length);
 //     Scheduler and Trace must be unset — the service never sets them, and
 //     a custom scheduler would change results without changing the key.
@@ -50,6 +55,9 @@ func jobKey(app *trace.App, gpu config.GPU, opts sim.Options) string {
 	fmt.Fprintf(h, "opts kind=%d hitrates=%d maxcycles=%d latencyscale=%g overhead=%d sample=%g epoch=%d\n",
 		opts.Kind, opts.HitRates, opts.MaxCycles, opts.LatencyScale,
 		opts.ExtraKernelOverhead, opts.SampleBlocks, epoch)
+	sm := opts.Sampling.Effective()
+	fmt.Fprintf(h, "sampling enabled=%t frac=%g stride=%d seed=%d\n",
+		sm.Enabled, sm.BlockFraction, sm.ReplayStride, sm.Seed)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

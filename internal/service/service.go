@@ -62,11 +62,21 @@ type Config struct {
 	// for specs that leave epoch_cycles unset (0 or 1 = exact mode). A
 	// value > 1 requires EngineThreads > 1; New rejects the contradiction.
 	EpochCycles int
+	// Sampling is the daemon-wide default sampled-execution mode for
+	// specs that leave `sample` unset. Sampled results legitimately
+	// differ from exact ones, so the effective sampling parameters are
+	// part of every job's cache key.
+	Sampling SamplingDefaults
 	// Trace is the daemon-wide observability handle (nil records
 	// nothing). Each sweep gets its own block of trace pids and the
 	// recorder is flushed after every finished sweep.
 	Trace *obs.Tracer
 }
+
+// SamplingDefaults is the daemon-wide sampled-execution default applied to
+// specs that do not set `sample` themselves (an alias of sim.Sampling; see
+// its fields for semantics).
+type SamplingDefaults = sim.Sampling
 
 // Sentinel errors mapped to HTTP statuses by http.go.
 var (
@@ -101,6 +111,23 @@ type Spec struct {
 	// requires engine_threads > 1 and legitimately shifts results, so it
 	// is part of the cache key.
 	EpochCycles int `json:"epoch_cycles,omitempty"`
+	// Sample runs every job of the sweep in sampled execution mode:
+	// repeated kernel launches replay a recorded outcome and each launch
+	// simulates only a representative block subset, with the remainder
+	// extrapolated analytically. Sampled cycles legitimately differ from
+	// exact ones, so the effective sampling parameters are part of the
+	// cache key. When unset, the daemon's -sample default applies (and
+	// the tuning fields below must be zero).
+	Sample bool `json:"sample,omitempty"`
+	// SampleFrac is the fraction of post-first-wave blocks to simulate
+	// per launch, in (0,1); 0 = the simulator default.
+	SampleFrac float64 `json:"sample_frac,omitempty"`
+	// SampleStride re-simulates every Nth repeated launch; 0 = the
+	// simulator default, 1 disables launch replay.
+	SampleStride int `json:"sample_stride,omitempty"`
+	// SampleSeed drives the representative-block selection; equal seeds
+	// (and parameters) give bit-identical sampled results.
+	SampleSeed uint64 `json:"sample_seed,omitempty"`
 }
 
 // Job states reported in statuses and progress events.
@@ -235,6 +262,9 @@ func New(cfg Config) (*Service, error) {
 	if cfg.EpochCycles > 1 && cfg.EngineThreads <= 1 {
 		return nil, fmt.Errorf("service: default epoch_cycles %d needs a parallel engine: set EngineThreads > 1", cfg.EpochCycles)
 	}
+	if err := validateSampling(cfg.Sampling); err != nil {
+		return nil, fmt.Errorf("service: default sampling: %w", err)
+	}
 	cache, err := NewCache(cfg.CacheDir)
 	if err != nil {
 		return nil, err
@@ -348,6 +378,23 @@ func (s *Service) resolve(spec Spec) ([]job, time.Duration, int, error) {
 		return nil, 0, 0, fmt.Errorf("service: epoch_cycles %d needs a parallel engine: set engine_threads > 1 (or drop epoch_cycles for the exact run)", epoch)
 	}
 
+	sampling := sim.Sampling(s.cfg.Sampling)
+	if spec.Sample {
+		sampling = sim.Sampling{
+			Enabled:       true,
+			BlockFraction: spec.SampleFrac,
+			ReplayStride:  spec.SampleStride,
+			Seed:          spec.SampleSeed,
+		}
+	} else if spec.SampleFrac != 0 || spec.SampleStride != 0 || spec.SampleSeed != 0 {
+		// Tuning fields without the mode switch would be silently dead
+		// settings; reject the contradiction like the CLIs do.
+		return nil, 0, 0, fmt.Errorf("service: sample_frac/sample_stride/sample_seed have no effect without sample")
+	}
+	if err := validateSampling(sampling); err != nil {
+		return nil, 0, 0, fmt.Errorf("service: %w", err)
+	}
+
 	var timeout time.Duration
 	if spec.JobTimeout != "" {
 		d, err := time.ParseDuration(spec.JobTimeout)
@@ -392,7 +439,7 @@ func (s *Service) resolve(spec Spec) ([]job, time.Duration, int, error) {
 	for _, g := range gpus {
 		for _, a := range apps {
 			for _, k := range kinds {
-				opts := sim.Options{Kind: k, EngineThreads: engineThreads, EpochCycles: epoch}
+				opts := sim.Options{Kind: k, EngineThreads: engineThreads, EpochCycles: epoch, Sampling: sampling}
 				jobs = append(jobs, job{
 					app: a, gpu: g, opts: opts, sim: k.String(),
 					key: jobKey(a, g, opts),
@@ -401,6 +448,22 @@ func (s *Service) resolve(spec Spec) ([]job, time.Duration, int, error) {
 		}
 	}
 	return jobs, timeout, engineThreads, nil
+}
+
+// validateSampling bounds an enabled sampling configuration (disabled
+// sampling is always valid; tuning fields are checked against the mode
+// switch by the caller).
+func validateSampling(sm sim.Sampling) error {
+	if !sm.Enabled {
+		return nil
+	}
+	if sm.BlockFraction < 0 || sm.BlockFraction >= 1 {
+		return fmt.Errorf("sample_frac must be in (0,1) (0 = simulator default), got %g", sm.BlockFraction)
+	}
+	if sm.ReplayStride < 0 {
+		return fmt.Errorf("sample_stride must be >= 0 (0 = simulator default, 1 = no replay), got %d", sm.ReplayStride)
+	}
+	return nil
 }
 
 // parseKind maps the spec's simulator spelling (the cmd/explore -sim

@@ -138,12 +138,22 @@ type Options struct {
 	// timing-relevant option including the effective epoch length — must
 	// match this run's; EngineThreads may differ freely.
 	RestoreFrom io.Reader
-	// SampleBlocks in (0,1) enables block-level sampled simulation in
-	// the spirit of the sampling work the paper cites as orthogonal:
-	// only the first ceil(fraction×blocks) blocks of each kernel are
-	// simulated and the kernel's cycles are extrapolated linearly.
-	// 0 or 1 simulates everything. Composes with every Kind.
+	// SampleBlocks in (0,1) enables legacy prefix block sampling: only the
+	// first ceil(fraction×blocks) blocks of each kernel are simulated and
+	// the kernel's cycles are extrapolated linearly. 0 or 1 simulates
+	// everything. Composes with every Kind, but not with Sampling (which
+	// subsumes it; enabling both is an error).
 	SampleBlocks float64
+	// Sampling enables the sampled execution mode: kernel-launch
+	// memoization with analytical replay plus representative-block (CTA)
+	// sampling with Eq. 1-style extrapolation — see sample.go. Opt-in and
+	// deterministic (bit-reproducible at every thread count for fixed
+	// options); accuracy drift is bounded by the per-preset envelopes in
+	// internal/regress. Composes with every Kind and with
+	// EngineThreads/EpochCycles; incompatible with SampleBlocks and with
+	// snapshot/restore (a replayed launch has no simulated state to
+	// checkpoint).
+	Sampling Sampling
 	// Trace is the observability handle (internal/obs). nil (or a tracer
 	// below the relevant level) records nothing; with tracing on, the
 	// engine, SMs, caches, NoC and DRAM emit spans and counter samples
@@ -237,7 +247,26 @@ func RunCtx(ctx context.Context, app *trace.App, gpu config.GPU, opts Options) (
 	}
 	sampled := false
 	if opts.SampleBlocks > 0 && opts.SampleBlocks < 1 {
+		if opts.Sampling.Enabled {
+			return nil, fmt.Errorf("sim: %s: SampleBlocks and Sampling cannot be combined (Sampling subsumes prefix sampling)", app.Name)
+		}
 		app, sampleScale = sampleApp(app, gpu, opts.SampleBlocks)
+		sampled = true
+	}
+
+	// Sampled execution mode (sample.go): representative-block subsets per
+	// launch plus launch memoization. The representative app also drives
+	// hit-rate profiling, so Swift-Sim-Memory's profiling cost shrinks with
+	// the sample too.
+	var smp *sampler
+	if opts.Sampling.Enabled {
+		if err := opts.Sampling.validate(); err != nil {
+			return nil, fmt.Errorf("sim: %s: %w", app.Name, err)
+		}
+		if opts.SnapshotTo != nil || opts.RestoreFrom != nil {
+			return nil, fmt.Errorf("sim: %s: sampled mode cannot be combined with snapshot/restore: a replayed launch has no simulated state to checkpoint", app.Name)
+		}
+		smp, app = newSampler(app, gpu, opts.Sampling)
 		sampled = true
 	}
 
@@ -254,6 +283,9 @@ func RunCtx(ctx context.Context, app *trace.App, gpu config.GPU, opts Options) (
 	a, err := assemble(gpu, opts, prof)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: %w", app.Name, err)
+	}
+	if smp != nil {
+		smp.install(a)
 	}
 	maxCycles := opts.MaxCycles
 	if maxCycles == 0 {
@@ -291,6 +323,23 @@ func RunCtx(ctx context.Context, app *trace.App, gpu config.GPU, opts Options) (
 			snapshotPending = !taken
 		}
 		a.kernelIndex = ki
+		if smp != nil {
+			if kc, ok := smp.tryReplay(ctx, a, ki, maxCycles); ok {
+				// Memoized launch: time advanced analytically, counters
+				// gained the recorded delta, nothing was simulated.
+				kernelCycles = append(kernelCycles, kc)
+				extrapolated += kc
+				overhead += opts.ExtraKernelOverhead
+				if tr.Enabled(obs.KernelLevel) {
+					tr.Emit(obs.Event{Name: k.Name, Cat: "kernel-replay", Ph: obs.PhaseSpan,
+						Ts: a.eng.Cycle() - kc, Dur: kc, Tid: ktid,
+						Arg1Name: "blocks", Arg1: uint64(len(k.Blocks)),
+						Arg2Name: "index", Arg2: uint64(ki)})
+				}
+				continue
+			}
+			smp.beginLaunch(a, ki)
+		}
 		// Kernel-boundary L1 invalidation (non-coherent GPU L1s are
 		// flushed between kernels); the L2 persists.
 		for _, l1 := range a.l1s {
@@ -312,6 +361,9 @@ func RunCtx(ctx context.Context, app *trace.App, gpu config.GPU, opts Options) (
 			return nil, fmt.Errorf("sim: %s kernel %d (%s): %w", app.Name, ki, k.Name, err)
 		}
 		kc := extrapolate(a.eng.Cycle()-kStart, sampleScale[ki])
+		if smp != nil {
+			kc = smp.endLaunch(a, ki, a.eng.Cycle()-kStart)
+		}
 		kernelCycles = append(kernelCycles, kc)
 		extrapolated += kc
 		overhead += opts.ExtraKernelOverhead
@@ -470,7 +522,7 @@ func assemble(gpu config.GPU, opts Options, prof *reuse.Profile) (*gpuAssembly, 
 	// boundary (boundary.go) then carries each L1's downstream traffic,
 	// because PreTick drains run inside the concurrent shard pass instead
 	// of a serial pre-phase. Serial assemblies silently run exact — the
-	// CLIs reject that combination up front (cliutil.ValidateEpoch).
+	// CLIs reject that combination up front (cliutil.ValidateModes).
 	epochK := opts.EpochCycles
 	if epochK < 1 || nShards < 2 {
 		epochK = 1

@@ -1,6 +1,7 @@
 package smcore
 
 import (
+	"swiftsim/internal/config"
 	"swiftsim/internal/engine"
 	"swiftsim/internal/metrics"
 	"swiftsim/internal/trace"
@@ -83,6 +84,85 @@ func (bs *BlockScheduler) Kind() engine.ModelKind { return engine.CycleAccurate 
 // module on event cycles — so the scheduler never needs to force ticking
 // and can let the engine fast-forward.
 func (bs *BlockScheduler) Busy() bool { return false }
+
+// SelectSampleBlocks picks the representative block subset of one kernel
+// launch for sampled simulation: the entire first wave (every block that
+// would be concurrently resident at launch under cfg's occupancy limits on
+// numSMs SMs — cold-cache behavior and launch contention must be measured,
+// not modeled), plus one or more *contiguous windows* of one-and-a-half
+// waves each from the tail. A window's blocks execute concurrently at full
+// occupancy with their grid neighbors, so the measured window carries the
+// same contention, warmed-cache hit rates, and neighbor locality (stencil
+// halos, shared tiles) the unsimulated waves would have seen — scattered
+// single-block samples run under-occupied next to strangers and
+// systematically mis-price both effects. The extra half wave is pressure:
+// while it drains, the window's first completions happen with blocks still
+// pending, i.e. at sustained full occupancy, which is exactly the
+// steady-state drain rate analytic.ExtrapolateBlocks prices the
+// unsimulated remainder with (a bare one-wave window ends in rundown — the
+// machine empties out and the surviving blocks speed up — biasing every
+// completion it measures).
+//
+// The default is one window; frac grows the sample (round(frac×tail/wlen)
+// windows, capped so windows never overlap), and the windows are
+// stratified across the tail at seed-jittered offsets so the sample tracks
+// index-dependent behavior drift (wavefront apps).
+//
+// The returned indices are strictly increasing, always include index 0,
+// and are a pure function of (cfg, k, numSMs, frac, seed) — the selection
+// is deterministic and reproducible across hosts and thread counts.
+// Kernels whose tail is no larger than one window are returned whole.
+func SelectSampleBlocks(cfg config.SM, k *trace.Kernel, numSMs int, frac float64, seed uint64) []int {
+	n := len(k.Blocks)
+	wave := BlocksPerSM(cfg, k) * numSMs
+	if wave < 1 {
+		wave = 1
+	}
+	wlen := wave + (wave+1)/2
+	tail := n - wave
+	if tail <= wlen {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	win := int(float64(tail)*frac/float64(wlen) + 0.5)
+	if win < 1 {
+		win = 1
+	}
+	if max := tail / wlen; win > max {
+		win = max
+	}
+	out := make([]int, 0, wave+win*wlen)
+	for i := 0; i < wave; i++ {
+		out = append(out, i)
+	}
+	// One stratum per window; win ≤ tail/wlen guarantees every stratum is
+	// at least one window long, so jittered windows stay inside their
+	// stratum and never overlap.
+	for s := 0; s < win; s++ {
+		lo := wave + s*tail/win
+		hi := wave + (s+1)*tail/win
+		start := lo
+		if slack := hi - lo - wlen; slack > 0 {
+			start += int(sampleJitter(seed, uint64(s)) % uint64(slack+1))
+		}
+		for i := 0; i < wlen; i++ {
+			out = append(out, start+i)
+		}
+	}
+	return out
+}
+
+// sampleJitter derives a per-stratum pseudo-random offset from the sampling
+// seed (splitmix64 finalizer — deterministic, well-mixed, dependency-free).
+func sampleJitter(seed, stratum uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*(stratum+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
 
 // Tick implements engine.Ticker: assign as many pending blocks as fit,
 // round-robin over SMs. An assignment error aborts the kernel (recorded in

@@ -312,6 +312,14 @@ type SM struct {
 
 	onBlockDone func(sm *SM)
 
+	// blockObs, when set, observes every finished block's (index, launch
+	// cycle, end cycle). Sampled mode (internal/sim) uses it to measure
+	// per-block durations for analytical extrapolation. Like onBlockDone it
+	// is invoked from finishBlock, which runs in a serial engine phase
+	// (inline serially, at the barrier in deterministic defer order when
+	// sharded), so observers need no synchronization.
+	blockObs func(index int, launch, end uint64)
+
 	issued    *metrics.Counter
 	stalls    *metrics.Counter
 	blocksRun *metrics.Counter
@@ -651,7 +659,7 @@ func (sm *SM) AssignBlock(k *trace.Kernel, index int) error {
 	sm.usedRegs += regs
 	sm.usedShmem += shmem
 	sm.blocksRun.Inc()
-	if sm.trOn && sm.eng != nil {
+	if (sm.trOn || sm.blockObs != nil) && sm.eng != nil {
 		rb.launchCycle = sm.eng.Cycle()
 	}
 	sm.busyCache = true // newly resident warps have work
@@ -700,9 +708,20 @@ func (sm *SM) finishBlock(launchCycle uint64, index int) {
 			Ts: launchCycle, Dur: sm.eng.Cycle() - launchCycle, Tid: sm.trTid,
 			Arg1Name: "index", Arg1: uint64(index)})
 	}
+	if sm.blockObs != nil && sm.eng != nil {
+		sm.blockObs(index, launchCycle, sm.eng.Cycle())
+	}
 	if sm.onBlockDone != nil {
 		sm.onBlockDone(sm)
 	}
+}
+
+// SetBlockObserver installs fn to be called for every block the SM
+// finishes, with the block's kernel-local index and its launch/end cycles.
+// nil disables observation. Call before the simulation runs; installing an
+// observer makes AssignBlock record launch cycles even without tracing.
+func (sm *SM) SetBlockObserver(fn func(index int, launch, end uint64)) {
+	sm.blockObs = fn
 }
 
 func (b *residentBlock) liveWarpsTotal() int { return len(b.warps) }

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+)
+
+// LaunchKey returns a SHA-256 digest over a kernel launch's *static*
+// content: grid/block geometry, resource footprint, and the per-warp
+// instruction streams (PC, opcode, registers, active mask, access width)
+// — everything that determines the launch's control and issue behavior.
+// Two things are deliberately excluded:
+//
+//   - The kernel name. Trace generators (and real NVBit traces) suffix
+//     repeated launches of one kernel with a step or invocation index, so
+//     the name distinguishes launches that execute identical code.
+//   - Per-lane address values. Repeated launches walk different base
+//     pointers over the same access pattern; the address *count* per
+//     instruction (the coalescing shape's upper bound) is static and is
+//     hashed, the values are not.
+//
+// Launches with equal LaunchKey therefore execute the same instruction
+// stream over the same geometry — the memoization unit of sampled mode
+// (internal/sim). Unlike ContentHash this is an approximation by design:
+// different address values can change cache behavior, which is exactly the
+// drift the sampling envelopes in internal/regress bound.
+//
+// Kernels are immutable once built, so the digest is memoized per *Kernel
+// with the same bounded-FIFO discipline as ContentHash.
+func LaunchKey(k *Kernel) [32]byte {
+	launchMu.Lock()
+	if h, ok := launchCache[k]; ok {
+		launchMu.Unlock()
+		return h
+	}
+	launchMu.Unlock()
+
+	h := computeLaunchKey(k)
+
+	launchMu.Lock()
+	if _, ok := launchCache[k]; !ok {
+		if len(launchOrder) >= launchCacheCap {
+			delete(launchCache, launchOrder[0])
+			launchOrder = launchOrder[1:]
+		}
+		launchCache[k] = h
+		launchOrder = append(launchOrder, k)
+	}
+	launchMu.Unlock()
+	return h
+}
+
+const launchCacheCap = 1024
+
+var (
+	launchMu    sync.Mutex
+	launchCache = make(map[*Kernel][32]byte)
+	launchOrder []*Kernel // FIFO eviction order
+)
+
+// computeLaunchKey walks the kernel with the same unambiguous framing as
+// computeContentHash (strings and slices length-prefixed).
+func computeLaunchKey(k *Kernel) [32]byte {
+	d := sha256.New()
+	buf := make([]byte, 0, 1<<15)
+	flush := func() {
+		d.Write(buf)
+		buf = buf[:0]
+	}
+	u32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	u64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+	str := func(s string) {
+		u32(uint32(len(s)))
+		buf = append(buf, s...)
+	}
+	dim := func(v Dim3) { u32(uint32(v.X)); u32(uint32(v.Y)); u32(uint32(v.Z)) }
+
+	str("swiftsim-launch-key 1")
+	dim(k.Grid)
+	dim(k.Block)
+	u32(uint32(k.RegsPerThread))
+	u32(uint32(k.SharedMemPerBlock))
+	u32(uint32(len(k.Blocks)))
+	for bi := range k.Blocks {
+		b := &k.Blocks[bi]
+		u32(uint32(len(b.Warps)))
+		for _, w := range b.Warps {
+			u32(uint32(len(w)))
+			for i := range w {
+				in := &w[i]
+				u64(in.PC)
+				buf = append(buf, byte(in.Op), byte(in.Dst), byte(in.Src[0]), byte(in.Src[1]))
+				u32(in.ActiveMask)
+				u32(uint32(len(in.Addrs)))
+				if len(buf) >= 1<<15-64 {
+					flush()
+				}
+			}
+		}
+	}
+	flush()
+	var out [32]byte
+	d.Sum(out[:0])
+	return out
+}

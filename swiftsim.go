@@ -241,6 +241,21 @@ func WriteTraceStallSummary(w io.Writer, events []TraceEvent, extra map[string]u
 	return obs.WriteStallSummary(w, events, extra, n)
 }
 
+// Sampling configures the sampled execution mode (Config.Sampling): set
+// Enabled and optionally BlockFraction, ReplayStride and Seed; zero
+// fields mean the defaults (DefaultSampleFraction, DefaultSampleStride).
+type Sampling = sim.Sampling
+
+// Effective default values of a zero-field enabled Sampling.
+const (
+	// DefaultSampleFraction is the default fraction of each launch's
+	// post-first-wave blocks simulated under sampling.
+	DefaultSampleFraction = sim.DefaultBlockFraction
+	// DefaultSampleStride is the default re-simulation stride of repeated
+	// launch fingerprints under sampling.
+	DefaultSampleStride = sim.DefaultReplayStride
+)
+
 // Config selects how Simulate models the GPU.
 type Config struct {
 	// Simulator picks the configuration (default Detailed).
@@ -272,6 +287,15 @@ type Config struct {
 	// internal/regress/testdata/epoch). 0 or 1 — the default — keeps the
 	// exact protocol; serial assemblies ignore the setting.
 	EpochCycles int
+	// Sampling enables sampled execution: repeated kernel launches replay
+	// memoized outcomes and only a representative subset of each launch's
+	// blocks is simulated, with the remainder extrapolated analytically.
+	// Deterministic and bit-reproducible at any thread count, but results
+	// may drift from the full run (see the committed accuracy envelopes in
+	// internal/regress/testdata/sample). Composes with EngineThreads and
+	// EpochCycles; incompatible with SampleBlocks and with
+	// snapshot/restore. The zero value simulates everything.
+	Sampling Sampling
 	// SnapshotAt requests a checkpoint at the first quiescent kernel
 	// boundary at or after this cycle, written to SnapshotTo. Taking a
 	// checkpoint never perturbs the run. Cycle 0 (with SnapshotTo set)
@@ -313,6 +337,7 @@ func SimulateCtx(ctx context.Context, app *App, gpu GPU, cfg Config) (*Result, e
 		Trace:         cfg.Trace,
 		EngineThreads: cfg.EngineThreads,
 		EpochCycles:   cfg.EpochCycles,
+		Sampling:      cfg.Sampling,
 		SnapshotAt:    cfg.SnapshotAt,
 		SnapshotTo:    cfg.SnapshotTo,
 		RestoreFrom:   cfg.RestoreFrom,
@@ -380,6 +405,7 @@ func SimulateAllOpts(jobs []Job, threads int, opts RunOptions) []Outcome {
 			Trace:         j.Cfg.Trace,
 			EngineThreads: j.Cfg.EngineThreads,
 			EpochCycles:   j.Cfg.EpochCycles,
+			Sampling:      j.Cfg.Sampling,
 			SnapshotAt:    j.Cfg.SnapshotAt,
 			SnapshotTo:    j.Cfg.SnapshotTo,
 			RestoreFrom:   j.Cfg.RestoreFrom,
