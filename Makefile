@@ -4,11 +4,12 @@
 
 GO ?= go
 
-.PHONY: verify tier1 lint golden fuzz-smoke bench bench-quick benchcmp update-golden envelopes
+.PHONY: verify tier1 lint golden fuzz-smoke distributed-e2e bench bench-quick benchcmp update-golden envelopes
 
 # verify = tier-1 + lint + the golden regression corpus + a fuzz smoke of
-# both parsers. This is the full pre-commit gate.
-verify: tier1 lint golden fuzz-smoke
+# both parsers + the multi-worker lease-plane scenarios. This is the full
+# pre-commit gate.
+verify: tier1 lint golden fuzz-smoke distributed-e2e
 
 # tier1 is the repo's baseline check (ROADMAP.md): everything builds,
 # vets, and tests green, with the race detector on the concurrent
@@ -17,7 +18,7 @@ tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/runner/... ./internal/engine/... ./internal/cache/... ./internal/noc/... ./internal/dram/... ./internal/obs/... ./internal/service/... ./internal/sim/... ./internal/snap/... ./cmd/swiftsimd/...
+	$(GO) test -race ./internal/runner/... ./internal/engine/... ./internal/cache/... ./internal/noc/... ./internal/dram/... ./internal/obs/... ./internal/service/... ./internal/sim/... ./internal/snap/... ./cmd/swiftsimd/... ./cmd/swiftsim-worker/...
 	$(GO) test -race -run 'TestEpoch|TestSnapshot|TestSample' ./internal/regress/
 
 # lint enforces gofmt and go vet, and additionally runs staticcheck and
@@ -44,6 +45,13 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseTrace -fuzztime=10s ./internal/trace/
 	$(GO) test -fuzz=FuzzLoadConfig -fuzztime=10s ./internal/config/
 	$(GO) test -fuzz=FuzzParseSnapshot -fuzztime=10s ./internal/sim/
+
+# distributed-e2e runs the multi-worker lease-plane scenarios — daemon +
+# worker loops with fault injection (worker killed mid-job, lease expiry
+# and requeue, fencing rejections) — race-on and repeated, as their own
+# verify stage.
+distributed-e2e:
+	$(GO) test -race -count=2 -run 'TestDistributed' ./internal/service/
 
 # update-golden regenerates the golden fixtures after an intended metrics
 # change. Review the fixture diff like any other code change.

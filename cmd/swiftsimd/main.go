@@ -14,6 +14,13 @@
 //	GET  /v1/stats               cache and queue counters
 //	GET  /healthz                liveness
 //
+// With -remote, jobs are not simulated in this process: they are
+// published to a lease-based job board and executed by swiftsim-worker
+// processes pulling over the same HTTP API (worker registration,
+// long-poll claims, heartbeat-renewed leases with requeue on worker
+// loss, and a content-addressed blob store carrying traces, configs and
+// canonical results by hash).
+//
 // SIGINT/SIGTERM triggers a graceful drain: in-flight and queued sweeps
 // get -drain-timeout to finish before being hard-canceled.
 //
@@ -22,6 +29,7 @@
 //	swiftsimd -addr :8080 -cache-dir /var/cache/swiftsim [-queue-depth 64]
 //	          [-workers 2] [-threads 8] [-max-job-timeout 5m] [-drain-timeout 30s]
 //	          [-engine-threads 4 -epoch-cycles 8]
+//	          [-remote -lease-ttl 10s -lease-retries 3]
 package main
 
 import (
@@ -68,6 +76,9 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	sampleStride := fs.Int("sample-stride", 0, "with -sample: default launch re-simulation stride (0 = simulator default, 1 = no replay)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file for all sweeps")
 	traceLevel := fs.String("trace-level", "kernel", "trace detail: off|kernel|module|request")
+	remote := fs.Bool("remote", false, "execute jobs on swiftsim-worker processes pulling over HTTP instead of in-process (lease-based ownership; see -lease-ttl/-lease-retries)")
+	leaseTTL := fs.Duration("lease-ttl", 10*time.Second, "with -remote: how long a claimed job survives without a worker heartbeat before it is requeued")
+	leaseRetries := fs.Int("lease-retries", 3, "with -remote: how many expired leases a job may burn through before failing terminally")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
@@ -107,6 +118,10 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		}
 	}
 
+	if *leaseTTL <= 0 || *leaseRetries < 1 {
+		fmt.Fprintln(stderr, "swiftsimd: -lease-ttl must be > 0 and -lease-retries >= 1")
+		return 1
+	}
 	svcCfg := service.Config{
 		CacheDir:      *cacheDir,
 		QueueDepth:    *queueDepth,
@@ -116,6 +131,11 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		EngineThreads: *engineThreads,
 		EpochCycles:   *epochCycles,
 		Trace:         tracer,
+		Remote: service.RemoteConfig{
+			Enabled:     *remote,
+			LeaseTTL:    *leaseTTL,
+			MaxAttempts: *leaseRetries,
+		},
 	}
 	if *sample {
 		svcCfg.Sampling = service.SamplingDefaults{

@@ -146,6 +146,21 @@ func TestDaemonRejectsRelaxedEpochSerialEngine(t *testing.T) {
 	}
 }
 
+// TestDaemonBadRemoteFlags: nonsensical lease tuning is rejected at
+// startup rather than surfacing as runaway requeue behavior later.
+func TestDaemonBadRemoteFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-remote", "-lease-ttl", "0s"},
+		{"-remote", "-lease-ttl", "-5s"},
+		{"-remote", "-lease-retries", "0"},
+	} {
+		var out, errw syncBuffer
+		if code := realMain(context.Background(), args, &out, &errw); code != 1 {
+			t.Errorf("realMain(%v) = %d, want 1", args, code)
+		}
+	}
+}
+
 func TestDaemonBadTraceLevel(t *testing.T) {
 	var out, errw syncBuffer
 	code := realMain(context.Background(),

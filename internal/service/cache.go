@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,19 +10,31 @@ import (
 )
 
 // Cache is the sweep service's persistent result cache: canonical metric
-// renderings keyed by the job key of key.go, one file per key under a
-// cache directory. Values survive process restarts — a daemon restarted
-// on the same -cache-dir serves yesterday's sweeps from disk.
+// renderings keyed by the job key of key.go. Values survive process
+// restarts — a daemon restarted on the same -cache-dir serves
+// yesterday's sweeps from disk.
+//
+// Since the distributed execution plane, the cache is layered on the
+// content-addressed Store (store.go): the value bytes live in the store
+// under their content hash and the per-key file (key.ref) holds only
+// that hash. The layering buys two things. Results computed by remote
+// workers are published into the same store the cache reads, so
+// committing a worker's result is a tiny ref write, and every read is
+// integrity-checked — a corrupted blob is detected by its hash, evicted
+// along with the ref, and the job transparently re-runs instead of
+// serving bad bytes.
 //
 // Lookups have single-flight semantics: the first claimant of a missing
 // key owns its computation; concurrent claimants of the same key (the
 // same job submitted twice while the first copy is still simulating)
 // wait on the owner's flight instead of simulating again. Ownership is
 // process-local — two daemons sharing a directory may duplicate work but
-// never corrupt it, because values are written atomically (tmp + rename)
-// and every value for a key is byte-identical by construction.
+// never corrupt it, because refs and blobs are written atomically
+// (tmp + rename) and every value for a key is byte-identical by
+// construction.
 type Cache struct {
-	dir string
+	dir   string
+	store *Store
 
 	mu      sync.Mutex
 	flights map[string]*Flight
@@ -36,6 +49,9 @@ type CacheStats struct {
 	Hits   uint64 `json:"hits"`
 	Misses uint64 `json:"misses"`
 	Waits  uint64 `json:"waits"`
+	// Corrupt counts claims whose stored value failed its integrity
+	// check; each evicted the entry and recomputed.
+	Corrupt uint64 `json:"corrupt"`
 }
 
 // Flight is an in-progress computation of one key. The owner resolves it
@@ -58,17 +74,52 @@ func (f *Flight) Wait(ctx context.Context) ([]byte, error) {
 	}
 }
 
-// NewCache opens (creating if needed) a cache rooted at dir.
+// NewCache opens (creating if needed) a cache rooted at dir. The value
+// blobs live in the content-addressed store under dir/blobs; BlobStore
+// exposes it so the service serves the same store over HTTP.
 func NewCache(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("service: cache dir: %w", err)
 	}
-	return &Cache{dir: dir, flights: make(map[string]*Flight)}, nil
+	store, err := NewStore(filepath.Join(dir, "blobs"))
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{dir: dir, store: store, flights: make(map[string]*Flight)}, nil
 }
 
-// path maps a key to its value file.
+// BlobStore returns the content-addressed store backing the cache's
+// values. Workers fetch traces/configs from it and publish results into
+// it; the cache commits a published result by writing its ref.
+func (c *Cache) BlobStore() *Store { return c.store }
+
+// path maps a key to its ref file (the content hash of its value blob).
 func (c *Cache) path(key string) string {
-	return filepath.Join(c.dir, key+".res")
+	return filepath.Join(c.dir, key+".ref")
+}
+
+// read resolves a key via its ref and the store, with integrity
+// verification. A corrupt blob (or a dangling ref) evicts the entry and
+// reads as a miss, so the caller recomputes instead of serving bad
+// bytes.
+func (c *Cache) read(key string) ([]byte, bool) {
+	ref, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	data, err := c.store.Get(string(ref))
+	if err != nil {
+		// ErrBlobCorrupt already evicted the blob; either way the ref
+		// points at nothing servable, so drop it and recompute.
+		os.Remove(c.path(key))
+		if errors.Is(err, ErrBlobCorrupt) {
+			c.mu.Lock()
+			c.stats.Corrupt++
+			c.mu.Unlock()
+		}
+		return nil, false
+	}
+	return data, true
 }
 
 // Claim resolves a key one of three ways:
@@ -95,7 +146,7 @@ func (c *Cache) Claim(key string) (val []byte, hit bool, owner bool, f *Flight) 
 	c.flights[key] = f
 	c.mu.Unlock()
 
-	if data, err := os.ReadFile(c.path(key)); err == nil {
+	if data, ok := c.read(key); ok {
 		c.resolve(f, data, nil, &c.stats.Hits)
 		return data, true, false, nil
 	}
@@ -133,14 +184,25 @@ func (c *Cache) resolve(f *Flight, val []byte, err error, counter *uint64) {
 	close(f.done)
 }
 
-// write stores a value atomically: a rename is all-or-nothing, so readers
-// never observe a torn file even across processes.
+// write stores a value: the bytes go into the content-addressed store
+// (idempotent — a worker may have published them already) and the key's
+// ref file records their hash. Both writes are atomic renames, so
+// readers never observe a torn file even across processes.
 func (c *Cache) write(key string, val []byte) error {
+	hash, err := c.store.Put(val)
+	if err != nil {
+		return err
+	}
+	return c.writeRef(key, hash)
+}
+
+// writeRef atomically points key at an already-stored blob.
+func (c *Cache) writeRef(key, hash string) error {
 	tmp, err := os.CreateTemp(c.dir, key+".tmp")
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(val); err != nil {
+	if _, err := tmp.WriteString(hash); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err

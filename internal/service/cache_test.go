@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -137,7 +138,8 @@ func TestFlightWaitHonorsContext(t *testing.T) {
 }
 
 // TestCacheWriteAtomic: the value directory never contains a torn or
-// temporary file after Fulfill returns.
+// temporary file after Fulfill returns — just the key's ref and the
+// blob store directory holding exactly the value blob.
 func TestCacheWriteAtomic(t *testing.T) {
 	dir := t.TempDir()
 	c, err := NewCache(dir)
@@ -148,15 +150,67 @@ func TestCacheWriteAtomic(t *testing.T) {
 	if err := c.Fulfill(f, []byte("value")); err != nil {
 		t.Fatal(err)
 	}
+	names := dirNames(t, dir)
+	if len(names) != 2 || names[0] != "blobs" || names[1] != "kk.ref" {
+		t.Errorf("cache dir = %v, want exactly [blobs kk.ref]", names)
+	}
+	want := BlobHash([]byte("value")) + ".blob"
+	blobs := dirNames(t, filepath.Join(dir, "blobs"))
+	if len(blobs) != 1 || blobs[0] != want {
+		t.Errorf("blob dir = %v, want exactly [%s]", blobs, want)
+	}
+}
+
+func dirNames(t *testing.T, dir string) []string {
+	t.Helper()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 1 || entries[0].Name() != "kk.res" {
-		names := make([]string, len(entries))
-		for i, e := range entries {
-			names[i] = e.Name()
-		}
-		t.Errorf("cache dir = %v, want exactly [kk.res]", names)
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name()
+	}
+	return names
+}
+
+// TestCacheCorruptBlobEvicted: flipping bytes in a stored value blob is
+// detected by the read-side hash check; the entry is evicted and the
+// next claim owns a fresh computation instead of serving bad bytes.
+func TestCacheCorruptBlobEvicted(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, f := c.Claim("k")
+	if err := c.Fulfill(f, []byte("good bytes")); err != nil {
+		t.Fatal(err)
+	}
+	blob := filepath.Join(dir, "blobs", BlobHash([]byte("good bytes"))+".blob")
+	if err := os.WriteFile(blob, []byte("bad bytes!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	val, hit, owner, f2 := c.Claim("k")
+	if hit || !owner {
+		t.Fatalf("claim after corruption: hit=%v owner=%v val=%q, want miss+owner", hit, owner, val)
+	}
+	if _, err := os.Stat(blob); !os.IsNotExist(err) {
+		t.Errorf("corrupt blob still on disk (stat err=%v)", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "k.ref")); !os.IsNotExist(err) {
+		t.Errorf("dangling ref still on disk (stat err=%v)", err)
+	}
+	if st := c.Stats(); st.Corrupt != 1 {
+		t.Errorf("stats.Corrupt = %d, want 1", st.Corrupt)
+	}
+	// The re-run heals the entry.
+	if err := c.Fulfill(f2, []byte("good bytes")); err != nil {
+		t.Fatal(err)
+	}
+	val, hit, _, _ = c.Claim("k")
+	if !hit || string(val) != "good bytes" {
+		t.Errorf("healed claim: hit=%v val=%q", hit, val)
 	}
 }

@@ -1,12 +1,20 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
+	"time"
 )
+
+// maxBlobBytes bounds a published blob (a canonical result or a trace
+// serialization); anything larger is rejected before it is buffered.
+const maxBlobBytes = 256 << 20
 
 // NewHandler serves the service's HTTP/JSON API:
 //
@@ -17,8 +25,19 @@ import (
 //	GET  /v1/stats              service counters     → 200 Stats
 //	GET  /healthz               liveness             → 200 "ok"
 //
-// Error mapping: invalid specs → 400, unknown sweeps → 404, a full queue
-// → 429 (with Retry-After), draining → 503.
+// and the distributed execution plane (lease.go, worker.go):
+//
+//	POST /v1/workers                  register         → 200 {"id","lease_ttl_ms","heartbeat_ms"}
+//	POST /v1/workers/{id}/claim       long-poll a job  → 200 WireJob | 204 none
+//	POST /v1/workers/{id}/heartbeat   renew leases     → 200 {"renewed","lost"}
+//	POST /v1/leases/{id}/result       commit a result  → 200 {} (by store hash)
+//	POST /v1/leases/{id}/error        report a failure → 200 {}
+//	GET  /v1/store/{hash}             fetch a blob     → 200 bytes
+//	POST /v1/store                    publish a blob   → 200 {"hash"}
+//
+// Error mapping: invalid specs → 400, unknown sweeps/workers/blobs →
+// 404, stale leases (fencing violations) → 409, a full queue → 429
+// (with a jittered Retry-After), draining → 503.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
@@ -31,7 +50,7 @@ func NewHandler(s *Service) http.Handler {
 		if err != nil {
 			switch {
 			case errors.Is(err, ErrQueueFull):
-				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds()))
 				httpError(w, http.StatusTooManyRequests, err)
 			case errors.Is(err, ErrDraining):
 				httpError(w, http.StatusServiceUnavailable, err)
@@ -115,8 +134,148 @@ func NewHandler(s *Service) http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 
+	// ---- Distributed execution plane ----
+
+	mux.HandleFunc("POST /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Name string `json:"name"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding registration: %w", err))
+			return
+		}
+		id := s.board.Register(req.Name)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id":           id,
+			"lease_ttl_ms": s.board.ttl.Milliseconds(),
+			// Three heartbeats per TTL tolerate two lost in a row.
+			"heartbeat_ms": (s.board.ttl / 3).Milliseconds(),
+		})
+	})
+
+	mux.HandleFunc("POST /v1/workers/{id}/claim", func(w http.ResponseWriter, r *http.Request) {
+		wait := 25 * time.Second
+		if v := r.URL.Query().Get("wait"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil || d < 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad wait=%q", v))
+				return
+			}
+			if d > time.Minute {
+				d = time.Minute
+			}
+			wait = d
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), wait)
+		defer cancel()
+		job, ok, err := s.board.Claim(ctx, r.PathValue("id"))
+		switch {
+		case errors.Is(err, ErrUnknownWorker):
+			httpError(w, http.StatusNotFound, err)
+		case errors.Is(err, errBoardClosed):
+			httpError(w, http.StatusServiceUnavailable, err)
+		case err != nil:
+			httpError(w, http.StatusInternalServerError, err)
+		case !ok:
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			writeJSON(w, http.StatusOK, job)
+		}
+	})
+
+	mux.HandleFunc("POST /v1/workers/{id}/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Leases []string `json:"leases"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding heartbeat: %w", err))
+			return
+		}
+		renewed, lost, err := s.board.Heartbeat(r.PathValue("id"), req.Leases)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"renewed": renewed, "lost": lost})
+	})
+
+	mux.HandleFunc("POST /v1/leases/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Token  uint64 `json:"token"`
+			Result string `json:"result"` // store hash of the canonical bytes
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding result: %w", err))
+			return
+		}
+		// The result must be readable (and pass its integrity check)
+		// before the lease commits — a commit is irrevocable.
+		data, err := s.store.Get(req.Result)
+		if err != nil {
+			httpError(w, http.StatusNotFound, fmt.Errorf("result blob: %w", err))
+			return
+		}
+		if err := s.board.Fulfill(r.PathValue("id"), req.Token, data); err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{})
+	})
+
+	mux.HandleFunc("POST /v1/leases/{id}/error", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Token uint64 `json:"token"`
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding error report: %w", err))
+			return
+		}
+		if req.Error == "" {
+			req.Error = "unspecified worker error"
+		}
+		if err := s.board.Fail(r.PathValue("id"), req.Token, req.Error); err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{})
+	})
+
+	mux.HandleFunc("GET /v1/store/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		data, err := s.store.Get(r.PathValue("hash"))
+		if err != nil {
+			// A corrupt blob was evicted; to the client both cases read
+			// as absence.
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+		w.Write(data)
+	})
+
+	mux.HandleFunc("POST /v1/store", func(w http.ResponseWriter, r *http.Request) {
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBlobBytes))
+		if err != nil {
+			httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("reading blob: %w", err))
+			return
+		}
+		hash, err := s.store.Put(data)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"hash": hash})
+	})
+
 	return mux
 }
+
+// retryAfterSeconds jitters the 429 Retry-After value uniformly over
+// [1,3] seconds. A constant would synchronize a whole worker/client
+// fleet shed at the same instant into retrying in lockstep and being
+// shed again together; the jitter spreads the retry wave out.
+func retryAfterSeconds() int { return 1 + rand.IntN(3) }
 
 // writeJSON writes v as a JSON response.
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -188,6 +188,23 @@ func TestHTTPShedding(t *testing.T) {
 	}
 }
 
+// TestRetryAfterJitterBounds: the 429 Retry-After is uniform over [1,3]
+// seconds — never zero or negative, never past the window, and actually
+// jittered (a constant would retry a shed fleet in lockstep).
+func TestRetryAfterJitterBounds(t *testing.T) {
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := retryAfterSeconds()
+		if v < 1 || v > 3 {
+			t.Fatalf("retryAfterSeconds() = %d, want within [1,3]", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("retryAfterSeconds() produced only %v over 1000 draws; no jitter", seen)
+	}
+}
+
 // TestHTTPErrors pins the error status mapping.
 func TestHTTPErrors(t *testing.T) {
 	s, srv := newHTTPService(t, Config{})

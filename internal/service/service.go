@@ -20,6 +20,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -71,6 +72,25 @@ type Config struct {
 	// nothing). Each sweep gets its own block of trace pids and the
 	// recorder is flushed after every finished sweep.
 	Trace *obs.Tracer
+	// Remote, when enabled, switches job execution to the distributed
+	// plane: cache misses are published to the lease-based job board and
+	// executed by swiftsim-worker processes pulling over HTTP, instead of
+	// simulated in this process.
+	Remote RemoteConfig
+}
+
+// RemoteConfig tunes the distributed execution plane (lease.go).
+type RemoteConfig struct {
+	// Enabled turns remote execution on. With it off, the worker and
+	// store endpoints still serve (a warm worker fleet can register
+	// early) but jobs always run in-process.
+	Enabled bool
+	// LeaseTTL is how long a claimed job stays owned without a heartbeat
+	// before it is requeued to another worker (0 = 10s).
+	LeaseTTL time.Duration
+	// MaxAttempts bounds how many leases a job may burn through before
+	// it fails terminally (0 = 3).
+	MaxAttempts int
 }
 
 // SamplingDefaults is the daemon-wide sampled-execution default applied to
@@ -220,6 +240,8 @@ func (sw *Sweep) ID() string { return sw.id }
 type Service struct {
 	cfg   Config
 	cache *Cache
+	store *Store // the cache's blob store, served over /v1/store
+	board *board // the lease-based job board (always present; used when cfg.Remote.Enabled)
 
 	ctx    context.Context // canceled only by hard drain
 	cancel context.CancelFunc
@@ -243,6 +265,8 @@ type Service struct {
 // Stats is the service-wide observability snapshot.
 type Stats struct {
 	Cache       CacheStats `json:"cache"`
+	Store       StoreStats `json:"store"`
+	Remote      BoardStats `json:"remote"`
 	PendingJobs int        `json:"pending_jobs"`
 	Sweeps      int        `json:"sweeps"`
 	Shed        uint64     `json:"shed"`
@@ -265,6 +289,9 @@ func New(cfg Config) (*Service, error) {
 	if err := validateSampling(cfg.Sampling); err != nil {
 		return nil, fmt.Errorf("service: default sampling: %w", err)
 	}
+	if cfg.Remote.LeaseTTL < 0 || cfg.Remote.MaxAttempts < 0 {
+		return nil, fmt.Errorf("service: negative remote tuning (lease_ttl %v, max_attempts %d)", cfg.Remote.LeaseTTL, cfg.Remote.MaxAttempts)
+	}
 	cache, err := NewCache(cfg.CacheDir)
 	if err != nil {
 		return nil, err
@@ -273,6 +300,8 @@ func New(cfg Config) (*Service, error) {
 	s := &Service{
 		cfg:    cfg,
 		cache:  cache,
+		store:  cache.BlobStore(),
+		board:  newBoard(cfg.Remote.LeaseTTL, cfg.Remote.MaxAttempts),
 		ctx:    ctx,
 		cancel: cancel,
 		// Admission caps total jobs at QueueDepth and every sweep has at
@@ -500,6 +529,8 @@ func (s *Service) Stats() Stats {
 	defer s.mu.Unlock()
 	return Stats{
 		Cache:       s.cache.Stats(),
+		Store:       s.store.Stats(),
+		Remote:      s.board.Stats(),
 		PendingJobs: s.pending,
 		Sweeps:      len(s.sweeps),
 		Shed:        s.shed,
@@ -524,9 +555,14 @@ func (s *Service) Close(ctx context.Context) error {
 	go func() { s.wg.Wait(); close(done) }()
 	select {
 	case <-done:
+		s.board.Close(nil)
 		return nil
 	case <-ctx.Done():
 		s.cancel() // hard drain: cancel in-flight simulations
+		// Resolving the board's outstanding jobs is what unblocks sweeps
+		// waiting on remote leases, so it happens before waiting for the
+		// workers to exit.
+		s.board.Close(context.Canceled)
 		<-done
 		return ctx.Err()
 	}
@@ -581,9 +617,12 @@ func (s *Service) runSweep(sw *Sweep) {
 		}
 	}
 
-	// Phase 2: simulate the misses. OnProgress fires exactly once per
-	// job — including skipped ones — so every owned flight is resolved.
-	if len(misses) > 0 {
+	// Phase 2: simulate the misses — remotely on the lease plane when
+	// configured, else on the in-process runner pool. Either way every
+	// owned flight is resolved exactly once.
+	if len(misses) > 0 && s.cfg.Remote.Enabled {
+		s.runRemote(sw, misses, flights)
+	} else if len(misses) > 0 {
 		jobs := make([]runner.Job, len(misses))
 		for k, i := range misses {
 			jobs[k] = runner.Job{App: sw.jobs[i].app, GPU: sw.jobs[i].gpu, Opts: sw.jobs[i].opts}
@@ -634,6 +673,135 @@ func (s *Service) runSweep(sw *Sweep) {
 	// Flushing keeps a streaming trace file current between sweeps; a
 	// flush error is non-fatal here and resurfaces at daemon Close.
 	_ = tr.Flush()
+}
+
+// runRemote executes a sweep's cache misses on the distributed plane:
+// each job's inputs (trace, GPU config) are published to the blob store,
+// the job is posted to the lease board, and remote workers claim,
+// simulate and publish canonical results by hash. Worker loss surfaces
+// as lease expiry and requeue (lease.go); the call returns when every
+// miss reached a terminal state.
+func (s *Service) runRemote(sw *Sweep, misses []int, flights map[int]*Flight) {
+	var wg sync.WaitGroup
+	var failOnce sync.Once
+	keys := make([]string, len(misses))
+	for k, i := range misses {
+		keys[k] = sw.jobs[i].key
+	}
+	// FailFast: terminally skip the sweep's other board jobs. Cancel
+	// ignores keys that already resolved, and a leased job's worker
+	// learns on its next heartbeat.
+	cancelRest := func() {
+		for _, key := range keys {
+			s.board.Cancel(key, fmt.Errorf("%w: fail-fast after another job's failure", runner.ErrJobSkipped))
+		}
+	}
+	for _, i := range misses {
+		jb := &sw.jobs[i]
+		wire, err := s.publishJob(jb, sw.jobTimeout)
+		if err != nil {
+			s.cache.Fail(flights[i], err)
+			s.finishJob(sw, i, nil, err, false)
+			continue
+		}
+		flight := flights[i]
+		idx := i
+		wg.Add(1)
+		s.board.Enqueue(&boardJob{
+			key:     jb.key,
+			wire:    wire,
+			onStart: func(string) { s.startJob(sw, idx) },
+			done: func(val []byte, err error) {
+				defer wg.Done()
+				if err != nil {
+					s.cache.Fail(flight, err)
+					s.finishJob(sw, idx, nil, err, false)
+					if sw.failFast {
+						failOnce.Do(cancelRest)
+					}
+					return
+				}
+				// A failed ref write only costs persistence, as in the
+				// local path; the blob itself is already in the store.
+				_ = s.cache.Fulfill(flight, val)
+				s.finishJob(sw, idx, val, nil, false)
+			},
+		})
+	}
+	wg.Wait()
+}
+
+// publishJob uploads one job's inputs into the blob store and builds its
+// wire descriptor (lease fields are stamped at claim time).
+func (s *Service) publishJob(jb *job, timeout time.Duration) (WireJob, error) {
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, jb.app); err != nil {
+		return WireJob{}, fmt.Errorf("serializing trace: %w", err)
+	}
+	traceHash, err := s.store.Put(buf.Bytes())
+	if err != nil {
+		return WireJob{}, fmt.Errorf("publishing trace blob: %w", err)
+	}
+	confHash, err := s.store.Put(config.Marshal(jb.gpu))
+	if err != nil {
+		return WireJob{}, fmt.Errorf("publishing config blob: %w", err)
+	}
+	timeoutMS := timeout.Milliseconds()
+	if timeout > 0 && timeoutMS == 0 {
+		// A sub-millisecond budget must stay a budget: truncating it to 0
+		// would read as "no timeout" on the worker.
+		timeoutMS = 1
+	}
+	return WireJob{
+		Key: jb.key, App: jb.app.Name, GPU: jb.gpu.Name, Sim: jb.sim,
+		TraceBlob: traceHash, ConfigBlob: confHash,
+		Opts:      wireOptions(jb.opts),
+		TimeoutMS: timeoutMS,
+	}, nil
+}
+
+// wireOptions flattens the result-affecting sim.Options into the wire
+// form; wireOptions and simOptions are inverses for every field the
+// service sets.
+func wireOptions(o sim.Options) WireOptions {
+	return WireOptions{
+		Kind:                int(o.Kind),
+		HitRates:            int(o.HitRates),
+		MaxCycles:           o.MaxCycles,
+		LatencyScale:        o.LatencyScale,
+		ExtraKernelOverhead: o.ExtraKernelOverhead,
+		SampleBlocks:        o.SampleBlocks,
+		EngineThreads:       o.EngineThreads,
+		EpochCycles:         o.EpochCycles,
+		SampleEnabled:       o.Sampling.Enabled,
+		SampleFrac:          o.Sampling.BlockFraction,
+		SampleStride:        o.Sampling.ReplayStride,
+		SampleSeed:          o.Sampling.Seed,
+	}
+}
+
+// simOptions rebuilds sim.Options from the wire form (the worker side of
+// wireOptions).
+func simOptions(w WireOptions) (sim.Options, error) {
+	if w.Kind < int(sim.Detailed) || w.Kind > int(sim.L2Hybrid) {
+		return sim.Options{}, fmt.Errorf("service: wire options: unknown simulator kind %d", w.Kind)
+	}
+	return sim.Options{
+		Kind:                sim.Kind(w.Kind),
+		HitRates:            sim.HitRateSource(w.HitRates),
+		MaxCycles:           w.MaxCycles,
+		LatencyScale:        w.LatencyScale,
+		ExtraKernelOverhead: w.ExtraKernelOverhead,
+		SampleBlocks:        w.SampleBlocks,
+		EngineThreads:       w.EngineThreads,
+		EpochCycles:         w.EpochCycles,
+		Sampling: sim.Sampling{
+			Enabled:       w.SampleEnabled,
+			BlockFraction: w.SampleFrac,
+			ReplayStride:  w.SampleStride,
+			Seed:          w.SampleSeed,
+		},
+	}, nil
 }
 
 // startJob transitions a job to running and emits its event.
