@@ -21,15 +21,25 @@
 // hosts to require the sharded engine's threads=4 run to beat threads=1
 // by the committed speedup floor.
 //
+// -metric selects any column unit present in the files, including the
+// -benchmem columns (B/op, allocs/op). -max 'NAME,ceiling' (repeatable)
+// gates an absolute value in the NEW file: median(NAME) must not exceed
+// ceiling — `make benchcmp` uses it with `-metric allocs/op` to pin the
+// sharded steady-state tick at zero allocations. When the old file
+// predates -benchmem and lacks the metric entirely, -max still runs (the
+// comparison table is skipped with a note); the ceiling is about the new
+// code, not the baseline.
+//
 // -json FILE additionally writes the comparison — per-benchmark rows,
-// geomean, and the outcome of any -gate/-within checks — as JSON, the
-// machine-readable record behind the committed BENCH_PR*.json files. The
-// file is written even when a gate fails, so CI retains what tripped.
+// geomean, and the outcome of any -gate/-within/-max checks — as JSON,
+// the machine-readable record behind the committed BENCH_PR*.json files.
+// The file is written even when a gate fails, so CI retains what tripped.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -47,9 +57,11 @@ func main() {
 func realMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchcmp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	metric := fs.String("metric", "ns/op", "metric to compare (any unit present in the files)")
+	metric := fs.String("metric", "ns/op", "metric to compare (any unit present in the files, including -benchmem's B/op and allocs/op)")
 	gate := fs.Float64("gate", 0, "fail (exit 2) if geomean speedup < this (0 = no gate)")
 	within := fs.String("within", "", "'A,B,ratio': fail (exit 2) unless median(A) >= ratio*median(B) in the new file (-cpu suffixes ignored)")
+	var maxSpecs stringList
+	fs.Var(&maxSpecs, "max", "'NAME,ceiling': fail (exit 2) if median(NAME) in the new file exceeds ceiling (-cpu suffixes ignored; repeatable)")
 	jsonOut := fs.String("json", "", "also write the comparison (rows, geomean, gates) as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -58,15 +70,22 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "usage: benchcmp [-metric ns/op] [-gate 1.0] old.txt new.txt")
 		return 1
 	}
-	old, err := parseFile(fs.Arg(0), *metric)
-	if err != nil {
-		fmt.Fprintf(stderr, "benchcmp: %v\n", err)
-		return 1
-	}
 	new_, err := parseFile(fs.Arg(1), *metric)
 	if err != nil {
 		fmt.Fprintf(stderr, "benchcmp: %v\n", err)
 		return 1
+	}
+	old, err := parseFile(fs.Arg(0), *metric)
+	if err != nil {
+		// An old baseline that simply predates the metric (no -benchmem
+		// columns, say) cannot block a -max ceiling on the new file: the
+		// ceiling is absolute. Anything else is still fatal.
+		if !(len(maxSpecs) > 0 && errors.Is(err, errNoMetric)) {
+			fmt.Fprintf(stderr, "benchcmp: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "note: old file has no %s samples; comparison skipped, -max gates still apply\n", *metric)
+		old = &benchSet{samples: make(map[string][]float64)}
 	}
 
 	// Compare benchmarks present on both sides, in the old file's order.
@@ -88,30 +107,32 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		}
 		rows = append(rows, r)
 	}
-	if len(rows) == 0 {
+	if len(rows) == 0 && len(maxSpecs) == 0 {
 		fmt.Fprintln(stderr, "benchcmp: no common benchmarks")
 		return 1
 	}
 
-	w := 4
-	for _, r := range rows {
-		if len(r.name) > w {
-			w = len(r.name)
-		}
-	}
-	fmt.Fprintf(stdout, "%-*s  %14s  %14s  %8s\n", w, "name", "old "+*metric, "new "+*metric, "speedup")
-	geo, geoN := 0.0, 0
-	for _, r := range rows {
-		fmt.Fprintf(stdout, "%-*s  %14s  %14s  %7.2fx\n", w, r.name, fmtVal(r.old), fmtVal(r.new), r.speedup)
-		if r.speedup > 0 {
-			geo += math.Log(r.speedup)
-			geoN++
-		}
-	}
 	gm := 0.0
-	if geoN > 0 {
-		gm = math.Exp(geo / float64(geoN))
-		fmt.Fprintf(stdout, "%-*s  %14s  %14s  %7.2fx\n", w, "geomean", "", "", gm)
+	if len(rows) > 0 {
+		w := 4
+		for _, r := range rows {
+			if len(r.name) > w {
+				w = len(r.name)
+			}
+		}
+		fmt.Fprintf(stdout, "%-*s  %14s  %14s  %8s\n", w, "name", "old "+*metric, "new "+*metric, "speedup")
+		geo, geoN := 0.0, 0
+		for _, r := range rows {
+			fmt.Fprintf(stdout, "%-*s  %14s  %14s  %7.2fx\n", w, r.name, fmtVal(r.old), fmtVal(r.new), r.speedup)
+			if r.speedup > 0 {
+				geo += math.Log(r.speedup)
+				geoN++
+			}
+		}
+		if geoN > 0 {
+			gm = math.Exp(geo / float64(geoN))
+			fmt.Fprintf(stdout, "%-*s  %14s  %14s  %7.2fx\n", w, "geomean", "", "", gm)
+		}
 	}
 	code := 0
 	if *gate > 0 && gm < *gate {
@@ -131,6 +152,15 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		rep.Within = res
 		if wcode != 0 && (code == 0 || wcode == 1) {
 			code = wcode
+		}
+	}
+	for _, spec := range maxSpecs {
+		res, mcode := gateMax(spec, *metric, new_, stdout, stderr)
+		if res != nil {
+			rep.Max = append(rep.Max, *res)
+		}
+		if mcode != 0 && (code == 0 || mcode == 1) {
+			code = mcode
 		}
 	}
 	if *jsonOut != "" {
@@ -158,6 +188,7 @@ type jsonReport struct {
 	Geomean    float64     `json:"geomean"`
 	Gate       *jsonGate   `json:"gate,omitempty"`
 	Within     *jsonWithin `json:"within,omitempty"`
+	Max        []jsonMax   `json:"max,omitempty"`
 }
 
 type jsonRow struct {
@@ -178,6 +209,22 @@ type jsonWithin struct {
 	Speedup     float64 `json:"speedup"`
 	Floor       float64 `json:"floor"`
 	Pass        bool    `json:"pass"`
+}
+
+type jsonMax struct {
+	Name    string  `json:"name"`
+	Median  float64 `json:"median"`
+	Ceiling float64 `json:"ceiling"`
+	Pass    bool    `json:"pass"`
+}
+
+// stringList collects a repeatable flag's values in order.
+type stringList []string
+
+func (l *stringList) String() string { return strings.Join(*l, ";") }
+func (l *stringList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
 }
 
 // round4 trims float noise so JSON speedups read like the table ("3.8831"
@@ -228,6 +275,42 @@ func gateWithin(spec string, set *benchSet, stdout, stderr io.Writer) (*jsonWith
 	}
 	if sp < ratio {
 		fmt.Fprintf(stderr, "benchcmp: within-file speedup %.2fx below floor %.2fx\n", sp, ratio)
+		return res, 2
+	}
+	return res, 0
+}
+
+// gateMax enforces a -max 'NAME,ceiling' constraint against the new
+// file's samples of the current metric: median(NAME) <= ceiling. Unlike
+// -gate and -within it is an absolute bound, which is what an
+// allocation floor needs — "0 allocs/op" is not a ratio against anything.
+func gateMax(spec, metric string, set *benchSet, stdout, stderr io.Writer) (*jsonMax, int) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		fmt.Fprintf(stderr, "benchcmp: -max wants 'NAME,ceiling', got %q\n", spec)
+		return nil, 1
+	}
+	ceiling, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil || ceiling < 0 {
+		fmt.Fprintf(stderr, "benchcmp: -max: bad ceiling %q\n", parts[1])
+		return nil, 1
+	}
+	want := stripCPUSuffix(strings.TrimSpace(parts[0]))
+	var samples []float64
+	for name, v := range set.samples {
+		if stripCPUSuffix(name) == want {
+			samples = append(samples, v...)
+		}
+	}
+	if len(samples) == 0 {
+		fmt.Fprintf(stderr, "benchcmp: -max: %q not found in the new file\n", parts[0])
+		return nil, 1
+	}
+	m := median(samples)
+	fmt.Fprintf(stdout, "max: %s = %s %s (ceiling %s)\n", want, fmtVal(m), metric, fmtVal(ceiling))
+	res := &jsonMax{Name: want, Median: round4(m), Ceiling: ceiling, Pass: m <= ceiling}
+	if m > ceiling {
+		fmt.Fprintf(stderr, "benchcmp: %s median %s %s above ceiling %s\n", want, fmtVal(m), metric, fmtVal(ceiling))
 		return res, 2
 	}
 	return res, 0
@@ -293,10 +376,15 @@ func parse(r io.Reader, metric string) (*benchSet, error) {
 		return nil, err
 	}
 	if len(set.samples) == 0 {
-		return nil, fmt.Errorf("no benchmark lines with metric %q", metric)
+		return nil, fmt.Errorf("%w %q", errNoMetric, metric)
 	}
 	return set, nil
 }
+
+// errNoMetric marks a file that parsed fine but carried no samples of the
+// requested metric — distinguishable (errors.Is) so realMain can tolerate
+// an old baseline that predates -benchmem when only -max gates are asked.
+var errNoMetric = errors.New("no benchmark lines with metric")
 
 func median(v []float64) float64 {
 	if len(v) == 0 {

@@ -191,6 +191,152 @@ BenchmarkEngineParallel/threads=4-8  2  210000000 ns/op
 PASS
 `
 
+// memBench carries the -benchmem columns; memOldNoCols is the same
+// benchmarks as recorded before -benchmem was turned on (ns/op only).
+const memBench = `goos: linux
+BenchmarkEngineShardedTick/shards=2-8  1000  1425 ns/op  0 B/op  0 allocs/op
+BenchmarkEngineShardedTick/shards=2-8  1000  1430 ns/op  0 B/op  0 allocs/op
+BenchmarkEngineShardedTick/shards=2-8  1000  1418 ns/op  0 B/op  0 allocs/op
+BenchmarkEngineShardedTick/shards=4-8  1000  2633 ns/op  16 B/op  1 allocs/op
+BenchmarkEngineShardedTick/shards=4-8  1000  2640 ns/op  16 B/op  1 allocs/op
+BenchmarkEngineShardedTick/shards=4-8  1000  2629 ns/op  32 B/op  2 allocs/op
+PASS
+`
+
+const memOldNoCols = `goos: linux
+BenchmarkEngineShardedTick/shards=2-8  1000  1500 ns/op
+BenchmarkEngineShardedTick/shards=4-8  1000  2700 ns/op
+PASS
+`
+
+func TestBenchmemMetrics(t *testing.T) {
+	o := writeTemp(t, "old.txt", memBench)
+	n := writeTemp(t, "new.txt", memBench)
+	for _, metric := range []string{"B/op", "allocs/op"} {
+		var out, errb bytes.Buffer
+		if code := realMain([]string{"-metric", metric, o, n}, &out, &errb); code != 0 {
+			t.Fatalf("-metric %s: exit %d, stderr: %s", metric, code, errb.String())
+		}
+		s := out.String()
+		if !strings.Contains(s, "shards=2") || !strings.Contains(s, "shards=4") {
+			t.Errorf("-metric %s table missing rows:\n%s", metric, s)
+		}
+	}
+}
+
+func TestMaxGate(t *testing.T) {
+	o := writeTemp(t, "old.txt", memBench)
+	n := writeTemp(t, "new.txt", memBench)
+	// shards=2 median is 0 allocs/op: passes a 0 ceiling. The spec omits
+	// the -8 cpu suffix — matching must ignore it.
+	var out, errb bytes.Buffer
+	args := []string{"-metric", "allocs/op", "-max", "BenchmarkEngineShardedTick/shards=2,0", o, n}
+	if code := realMain(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, want 0 (0 allocs under a 0 ceiling); stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "max: BenchmarkEngineShardedTick/shards=2") {
+		t.Errorf("missing max report line in:\n%s", out.String())
+	}
+	// shards=4 median is 1 allocs/op: fails a 0 ceiling.
+	out.Reset()
+	errb.Reset()
+	args = []string{"-metric", "allocs/op", "-max", "BenchmarkEngineShardedTick/shards=4,0", o, n}
+	if code := realMain(args, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2 (1 alloc over a 0 ceiling)", code)
+	}
+	if !strings.Contains(errb.String(), "above ceiling") {
+		t.Errorf("missing ceiling violation on stderr:\n%s", errb.String())
+	}
+	// Repeatable: one passing and one failing spec still fails.
+	if code := realMain([]string{"-metric", "allocs/op",
+		"-max", "BenchmarkEngineShardedTick/shards=2,0",
+		"-max", "BenchmarkEngineShardedTick/shards=4,0", o, n}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2 (second -max trips)", code)
+	}
+	if code := realMain([]string{"-max", "nope,0", o, n}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1 (unknown benchmark)", code)
+	}
+	if code := realMain([]string{"-max", "bad-spec", o, n}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1 (malformed spec)", code)
+	}
+	if code := realMain([]string{"-max", "BenchmarkEngineShardedTick/shards=2,-1", o, n}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1 (negative ceiling)", code)
+	}
+}
+
+func TestMaxWithOldFileLackingBenchmem(t *testing.T) {
+	o := writeTemp(t, "old.txt", memOldNoCols)
+	n := writeTemp(t, "new.txt", memBench)
+	// Without -max, an old baseline with no allocs/op samples is fatal.
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-metric", "allocs/op", o, n}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1 (old file lacks the metric, nothing to gate)", code)
+	}
+	// With -max, the ceiling is absolute: the comparison is skipped with a
+	// note and the gate runs against the new file alone.
+	out.Reset()
+	errb.Reset()
+	args := []string{"-metric", "allocs/op", "-max", "BenchmarkEngineShardedTick/shards=2,0", o, n}
+	if code := realMain(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, want 0; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "comparison skipped") {
+		t.Errorf("missing skip note in:\n%s", out.String())
+	}
+	// And a violated ceiling still trips even without a baseline.
+	args = []string{"-metric", "allocs/op", "-max", "BenchmarkEngineShardedTick/shards=4,0", o, n}
+	if code := realMain(args, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2 (ceiling violated, no baseline needed)", code)
+	}
+	// The reverse mix — new file lacking the metric — stays fatal: there is
+	// nothing to measure the ceiling against.
+	if code := realMain([]string{"-metric", "allocs/op",
+		"-max", "BenchmarkEngineShardedTick/shards=2,0",
+		writeTemp(t, "old2.txt", memBench), writeTemp(t, "new2.txt", memOldNoCols)},
+		&out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1 (new file lacks the metric)", code)
+	}
+}
+
+func TestJSONMax(t *testing.T) {
+	o := writeTemp(t, "old.txt", memBench)
+	n := writeTemp(t, "new.txt", memBench)
+	out := filepath.Join(t.TempDir(), "cmp.json")
+	var stdout, stderr bytes.Buffer
+	args := []string{"-metric", "allocs/op",
+		"-max", "BenchmarkEngineShardedTick/shards=2,0",
+		"-max", "BenchmarkEngineShardedTick/shards=4,0",
+		"-json", out, o, n}
+	if code := realMain(args, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("-json wrote nothing: %v", err)
+	}
+	var rep struct {
+		Metric string `json:"metric"`
+		Max    []struct {
+			Name    string  `json:"name"`
+			Median  float64 `json:"median"`
+			Ceiling float64 `json:"ceiling"`
+			Pass    bool    `json:"pass"`
+		} `json:"max"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, data)
+	}
+	if rep.Metric != "allocs/op" || len(rep.Max) != 2 {
+		t.Fatalf("report has metric %q and %d max records, want allocs/op and 2", rep.Metric, len(rep.Max))
+	}
+	if !rep.Max[0].Pass || rep.Max[0].Median != 0 {
+		t.Errorf("shards=2 record %+v, want pass at median 0", rep.Max[0])
+	}
+	if rep.Max[1].Pass || rep.Max[1].Median != 1 {
+		t.Errorf("shards=4 record %+v, want fail at median 1", rep.Max[1])
+	}
+}
+
 func TestWithinGate(t *testing.T) {
 	o := writeTemp(t, "old.txt", withinBench)
 	n := writeTemp(t, "new.txt", withinBench)

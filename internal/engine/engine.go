@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"swiftsim/internal/obs"
 )
@@ -233,8 +234,24 @@ type Engine struct {
 	shards        []*shardCtx
 	pLo, pHi      int // contiguous registration-index range of sharded entries
 	shardsChecked bool
-	workersUp     bool
-	workerWG      sync.WaitGroup
+	// segCount is the number of sharded entries currently on the active
+	// list. They always occupy one contiguous run of positions (the active
+	// list is sorted and [pLo, pHi] contains only sharded entries), so the
+	// barrier and the epoch catch-up skip the whole segment in O(1)
+	// instead of scanning it.
+	segCount int
+	// persistent worker state (barrier.go). workersUp is only set when the
+	// host has spare parallelism (or forceWorkers, for tests/benchmarks);
+	// exact-mode sharded engines without workers take the plain serial
+	// tick path, which is byte-identical by construction.
+	workersUp    bool
+	forceWorkers bool
+	spinCount    int
+	workerStop   atomic.Bool
+	workerWG     sync.WaitGroup
+	barDone      atomic.Int32
+	coordParked  atomic.Uint32
+	coordWake    chan struct{}
 	// preStaging routes Schedule calls made during the parallel pre-phase
 	// (downstream drains) into preStage, so their event sequence numbers
 	// interleave with the shard-staged ones exactly as in serial order.
@@ -244,12 +261,19 @@ type Engine struct {
 	// epochK > 1 enables relaxed-sync epochs: shards run epochK local
 	// cycles between every barrier instead of one; see epoch.go.
 	epochK int
-	// segScratch/activeScratch/mergeCur are retained buffers for the
-	// barrier's segment snapshot, active-list rebuild and staged-queue
-	// merge (no per-cycle allocations in steady state).
+	// segScratch/activeScratch/mergeCur/deferScratch are retained buffers
+	// for the barrier's segment snapshot, active-list rebuild, staged-queue
+	// merge and defer fold (no per-cycle allocations in steady state).
 	segScratch    []int
 	activeScratch []int
 	mergeCur      []int
+	deferScratch  []func()
+	// batchWake diverts activations into wakeBuf during the event-fire
+	// phases, where a burst of completion events would otherwise pay one
+	// O(active) list insertion each; flushWakes folds the batch with a
+	// single merge.
+	batchWake bool
+	wakeBuf   []int
 }
 
 // probe is a named read-only gauge sampled into the counter timeline.
@@ -400,12 +424,22 @@ func (e *Engine) activate(idx int) {
 		return
 	}
 	en.active = true
-	pos := sort.SearchInts(e.active, idx)
-	e.active = append(e.active, 0)
-	copy(e.active[pos+1:], e.active[pos:])
-	e.active[pos] = idx
-	if e.tickPos >= 0 && pos <= e.tickPos {
-		e.tickPos++
+	if en.sctx != nil {
+		e.segCount++
+	}
+	if e.batchWake {
+		// Event-fire phase: defer the list insertion to flushWakes, which
+		// folds the whole burst in one merge. The flags above are already
+		// set, so re-wakes of the same entry stay idempotent.
+		e.wakeBuf = append(e.wakeBuf, idx)
+	} else {
+		pos := sort.SearchInts(e.active, idx)
+		e.active = append(e.active, 0)
+		copy(e.active[pos+1:], e.active[pos:])
+		e.active[pos] = idx
+		if e.tickPos >= 0 && pos <= e.tickPos {
+			e.tickPos++
+		}
 	}
 	// Poll Busy on insertion: a module woken at a position the current tick
 	// pass has already visited is only ticked next cycle, but it must gate
@@ -516,11 +550,16 @@ func (e *Engine) RunCtx(ctx context.Context, done func() bool, maxCycles uint64)
 		}
 
 		// Fire events due this cycle. Events may schedule more events
-		// for the same cycle; they run in FIFO order after it.
-		for len(e.events) > 0 && e.events[0].cycle <= e.cycle {
-			ev := e.events.pop()
-			e.firedEvents++
-			ev.fn()
+		// for the same cycle; they run in FIFO order after it. Wakes are
+		// batched across the burst and folded in one merge.
+		if len(e.events) > 0 && e.events[0].cycle <= e.cycle {
+			e.batchWake = true
+			for len(e.events) > 0 && e.events[0].cycle <= e.cycle {
+				ev := e.events.pop()
+				e.firedEvents++
+				ev.fn()
+			}
+			e.flushWakes()
 		}
 
 		e.tickActive()
@@ -565,18 +604,57 @@ func (e *Engine) RunCtx(ctx context.Context, done func() bool, maxCycles uint64)
 // In parallel mode (SetParallel(n>1) with sharded registrations) the cycle
 // is instead split into serial head, concurrent shard passes, a
 // deterministic barrier and a serial tail; see tickSharded in parallel.go.
+// Exact-mode sharded engines without workers (startWorkers declined to
+// spawn any: single-proc host, no forceWorkers) tick serially instead —
+// the staged protocol reproduces the serial order exactly, so the results
+// are byte-identical and the per-cycle staging cost is saved where no
+// speedup was available anyway. Epoch mode has no serial equivalent and
+// always runs its own protocol, inline when workers are down.
 func (e *Engine) tickActive() {
 	if e.nShards > 1 && e.pLo >= 0 {
 		if e.epochK > 1 {
 			e.tickEpoch()
-		} else {
-			e.tickSharded()
+			return
 		}
-		return
+		if e.workersUp {
+			e.tickSharded()
+			return
+		}
 	}
 	e.tickPos = 0
 	e.tickSerialRange(maxInt)
 	e.tickPos = -1
+}
+
+// flushWakes ends a batchWake window, merging the buffered activations
+// into the active list in one backward in-place pass: O(active + batch)
+// for the whole burst instead of O(active) per wake. It must only run
+// outside the tick phase (tickPos == -1) — the event-fire windows — so no
+// tickPos adjustment is needed.
+func (e *Engine) flushWakes() {
+	e.batchWake = false
+	wb := e.wakeBuf
+	if len(wb) == 0 {
+		return
+	}
+	// Completion events usually wake entries in heap order, not index
+	// order; the buffer is tiny, so sorting it is cheap (and allocation
+	// free since Go's sort.Ints runs in place).
+	sort.Ints(wb)
+	n := len(e.active)
+	e.active = append(e.active, wb...)
+	i, j, k := n-1, len(wb)-1, len(e.active)-1
+	for j >= 0 {
+		if i >= 0 && e.active[i] > wb[j] {
+			e.active[k] = e.active[i]
+			i--
+		} else {
+			e.active[k] = wb[j]
+			j--
+		}
+		k--
+	}
+	e.wakeBuf = wb[:0]
 }
 
 // tickSerialRange advances tickPos through the active list, ticking every
@@ -609,6 +687,9 @@ func (e *Engine) tickSerialRange(hi int) {
 			}
 			if !nowBusy && !en.pending {
 				en.active = false
+				if en.sctx != nil {
+					e.segCount--
+				}
 				e.active = append(e.active[:e.tickPos], e.active[e.tickPos+1:]...)
 				continue
 			}
@@ -637,9 +718,12 @@ func (e *Engine) anyBusy() bool {
 			return true
 		}
 	}
-	if e.epochK > 1 {
-		for _, idx := range e.active {
-			if idx >= e.pLo && idx <= e.pHi && e.entries[idx].pending {
+	if e.epochK > 1 && e.segCount > 0 {
+		// The sharded entries sit in one contiguous run of the sorted
+		// active list; scan only that window.
+		lo := sort.SearchInts(e.active, e.pLo)
+		for _, idx := range e.active[lo : lo+e.segCount] {
+			if e.entries[idx].pending {
 				return true
 			}
 		}

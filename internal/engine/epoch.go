@@ -112,6 +112,7 @@ func (sc *shardCtx) runEpochPass(k int) {
 			}
 			if !nowBusy && !en.pending {
 				en.active = false
+				sc.dirty = true
 			}
 		}
 		sc.current = -1
@@ -132,19 +133,17 @@ func (e *Engine) tickEpoch() {
 	e.tickSerialRange(e.pLo - 1)
 	segStart := e.tickPos
 
-	// Snapshot the active sharded segment.
+	// Snapshot the active sharded segment — segCount contiguous positions
+	// starting at segStart (engine.go maintains the count).
 	seg := e.segScratch[:0]
-	for pos := segStart; pos < len(e.active); pos++ {
-		idx := e.active[pos]
-		if idx > e.pHi {
-			break
-		}
-		seg = append(seg, idx)
+	for pos := segStart; pos < segStart+e.segCount; pos++ {
+		seg = append(seg, e.active[pos])
 	}
 	e.segScratch = seg
 	if len(seg) == 0 {
-		// No sharded work: behave exactly like one serial cycle, so idle
-		// stretches still fast-forward event to event.
+		// No sharded work: behave exactly like one serial cycle — no
+		// staging, no barrier — so idle stretches still fast-forward
+		// event to event.
 		e.tickSerialRange(maxInt)
 		e.tickPos = -1
 		return
@@ -155,99 +154,74 @@ func (e *Engine) tickEpoch() {
 		sc.list = append(sc.list, idx)
 	}
 
-	// Phase 2: run every shard with work for k local cycles.
-	nWork := 0
-	for _, sc := range e.shards {
-		if len(sc.list) > 0 {
-			sc.epochK = k
-			nWork++
-		}
-	}
-	if nWork == 1 || !e.workersUp {
-		for _, sc := range e.shards {
-			if len(sc.list) > 0 {
-				sc.staging = true
-				sc.safePass()
-				sc.staging = false
-			}
-		}
-	} else {
-		for _, sc := range e.shards {
-			if len(sc.list) > 0 {
-				sc.staging = true
-			}
-		}
-		e.workerWG.Add(nWork)
-		for _, sc := range e.shards {
-			if len(sc.list) > 0 {
-				sc.work <- struct{}{}
-			}
-		}
-		e.workerWG.Wait()
-		for _, sc := range e.shards {
-			sc.staging = false
-		}
-	}
-	for _, sc := range e.shards {
-		sc.epochK = 0
-	}
-	for _, sc := range e.shards {
-		if sc.panicVal != nil {
-			v, st := sc.panicVal, sc.panicStack
-			sc.panicVal, sc.panicStack = nil, nil
-			panic(&ShardPanic{Shard: sc.shard, Value: v, Stack: st})
-		}
-	}
+	// Phase 2: run every shard with work for k local cycles (barrier.go).
+	e.dispatchShards(k)
 
-	// Phase 3: barrier — same mechanics as tickSharded's phase 4.
-	segEnd := segStart
-	for segEnd < len(e.active) && e.active[segEnd] <= e.pHi {
-		segEnd++
-	}
-	seg = seg[:0]
-	for idx := e.pLo; idx <= e.pHi; idx++ {
-		if e.entries[idx].active {
-			seg = append(seg, idx)
-		}
-	}
-	e.segScratch = seg
-	na := e.activeScratch[:0]
-	na = append(na, e.active[:segStart]...)
-	na = append(na, seg...)
-	na = append(na, e.active[segEnd:]...)
-	e.activeScratch, e.active = e.active, na
-	e.tickPos = segStart + len(seg)
-
+	// Phase 3: barrier. Fold busy deltas; rebuild the active segment only
+	// if some shard's membership actually changed, and flush only what was
+	// staged. The staged-event flush stays the k-way merge of PR 7 — an
+	// epoch's records span k capture cycles, so the exact-mode single-walk
+	// fold does not apply.
+	dirty, staged := false, len(e.preStage) > 0
 	for _, sc := range e.shards {
 		e.busyCount += sc.busyDelta
 		sc.busyDelta = 0
 		sc.list = sc.list[:0]
+		if sc.dirty {
+			dirty = true
+			sc.dirty = false
+		}
+		if len(sc.events) > 0 || len(sc.defers) > 0 {
+			staged = true
+		}
 	}
-	e.flushStagedEvents()
-	e.flushStagedDefers()
+	if dirty {
+		segEnd := segStart + e.segCount
+		seg = seg[:0]
+		for idx := e.pLo; idx <= e.pHi; idx++ {
+			if e.entries[idx].active {
+				seg = append(seg, idx)
+			}
+		}
+		e.segScratch = seg
+		na := e.activeScratch[:0]
+		na = append(na, e.active[:segStart]...)
+		na = append(na, seg...)
+		na = append(na, e.active[segEnd:]...)
+		e.activeScratch, e.active = e.active, na
+		e.segCount = len(seg)
+	}
+	e.tickPos = segStart + e.segCount
+	if staged {
+		e.flushStagedEvents()
+		e.flushStagedDefers()
+	}
 
 	// Phase 4: serial tail at the epoch's first cycle.
 	e.tickSerialRange(maxInt)
 
 	// Phase 5: catch-up — the serial modules run the remaining k-1 cycles,
 	// consuming the traffic the shards staged for them at the cycles it
-	// belongs to. The sharded segment is skipped: those modules already ran
-	// their local cycles; entries woken meanwhile (fill completions) tick
-	// at the next epoch.
+	// belongs to. The sharded segment is skipped in O(1) — those modules
+	// already ran their local cycles; entries woken meanwhile (fill
+	// completions) tick at the next epoch. Event wakes are batched per
+	// catch-up cycle like the run loop's own event phase.
 	for j := 1; j < k; j++ {
 		e.tickPos = -1
 		e.cycle++
 		e.tickedCycles++
-		for len(e.events) > 0 && e.events[0].cycle <= e.cycle {
-			ev := e.events.pop()
-			e.firedEvents++
-			ev.fn()
+		if len(e.events) > 0 && e.events[0].cycle <= e.cycle {
+			e.batchWake = true
+			for len(e.events) > 0 && e.events[0].cycle <= e.cycle {
+				ev := e.events.pop()
+				e.firedEvents++
+				ev.fn()
+			}
+			e.flushWakes()
 		}
 		e.tickPos = 0
 		e.tickSerialRange(e.pLo - 1)
-		for e.tickPos < len(e.active) && e.active[e.tickPos] <= e.pHi {
-			e.tickPos++
-		}
+		e.tickPos += e.segCount
 		e.tickSerialRange(maxInt)
 	}
 	e.tickPos = -1

@@ -2,9 +2,9 @@
 //
 // SetParallel(n) splits the cycle-accurate tickers into n shards plus the
 // implicit serial shard. Shard-private modules (an SM and its L1/i-cache)
-// are registered with RegisterSharded and tick concurrently on a bounded
-// worker pool; shared modules (block scheduler, NoC, L2, DRAM) stay on
-// plain Register and tick on the coordinator goroutine. Each simulated
+// are registered with RegisterSharded and tick concurrently on persistent
+// worker goroutines; shared modules (block scheduler, NoC, L2, DRAM) stay
+// on plain Register and tick on the coordinator goroutine. Each simulated
 // cycle runs as:
 //
 //  1. serial head — active entries registered before the shard range
@@ -13,14 +13,17 @@
 //     drain) runs serially on the coordinator in registration order, so
 //     pushes into the shared NoC/L2 happen in the serial engine's order;
 //  3. shard passes — each shard with active entries ticks them in
-//     registration order on its worker. All cross-shard side effects
-//     (Schedule, Defer, wakes of serial entries) are staged into
-//     per-shard queues instead of being applied;
-//  4. barrier — the coordinator rebuilds the active segment in
-//     registration order, folds the shards' busy deltas, and flushes the
-//     staged queues in ascending (registration index, phase) order. This
-//     reproduces the serial engine's event sequence numbers exactly,
-//     which is what makes metrics byte-identical at any thread count;
+//     registration order; the coordinator runs one shard itself and wakes
+//     the others' workers through the spin-then-park barrier (barrier.go).
+//     All cross-shard side effects (Schedule, Defer, wakes of serial
+//     entries) are staged into per-shard arenas instead of being applied;
+//  4. barrier fold — one registration-order walk over the sharded range
+//     rebuilds the active segment, assigns the staged events their serial
+//     sequence numbers and collects the staged defers (foldBarrier). This
+//     reproduces the serial engine's event order exactly, which is what
+//     makes metrics byte-identical at any thread count. Cycles where no
+//     shard changed its active set and nothing was staged skip the walk
+//     entirely;
 //  5. serial tail — active entries registered after the shard range
 //     (NoC, L2, DRAM), exactly as in serial mode.
 //
@@ -31,6 +34,13 @@
 // cross-shard interaction is only legal through Schedule/Defer (the
 // standard assemblies interact across shards exclusively through memory
 // ports and the block scheduler, which already obey this).
+//
+// Staging arenas: events, defers and pass lists are per-shard slices that
+// are truncated (never freed) at the barrier, so their capacity is
+// retained across cycles and the steady-state sharded tick performs no
+// heap allocation. A shard's arenas are written only by its worker while
+// staging is set and only by the coordinator otherwise; the barrier in
+// barrier.go carries the happens-before edges between the two.
 package engine
 
 import (
@@ -70,6 +80,15 @@ func (e *Engine) Defer(fn func()) { fn() }
 // The engine runs PreTick immediately before Tick in serial mode; in
 // parallel mode PreTick is hoisted into the serial pre-phase so the shared
 // module sees pushes in registration order, not worker-interleaved order.
+//
+// Contract: a PreTicker holding undrained downstream work must report
+// Busy. The pre-phase visits active entries only (as the serial engine
+// does); an idle entry woken mid-pass by a same-shard sibling ticks that
+// cycle but cannot drain until the next pre-phase — PreTick pushes into
+// shared modules and so can never run on a worker goroutine. Keeping such
+// a module Busy keeps it in the pre-phase snapshot, which is what makes
+// the sharded schedule identical to the serial one. The standard cache
+// models satisfy this naturally (non-empty miss queues are Busy).
 type PreTicker interface {
 	PreTick(cycle uint64)
 }
@@ -79,7 +98,8 @@ type PreTicker interface {
 // can replay the serial engine's sequence numbering, and with the absolute
 // cycle at which it was issued. In exact mode the cycle is constant across
 // a barrier (every stage happens at the engine's current cycle), so the
-// merge order degenerates to the pure (index, phase) order of PR 5; in
+// flush order degenerates to the pure (index, phase) order of PR 5 — which
+// foldBarrier produces with a single registration-order walk; in
 // relaxed-epoch mode the capture cycle leads the merge key so events from
 // different local cycles of one epoch keep their causal order.
 type stagedEvent struct {
@@ -107,6 +127,12 @@ type shardCtx struct {
 	// Schedule/Defer/wakes stage instead of applying.
 	staging bool
 
+	// dirty records that the pass changed the shard's active membership
+	// (an entry went idle, or a local wake activated one): the barrier
+	// must rebuild the global active segment. A clean cycle with nothing
+	// staged skips the rebuild walk entirely.
+	dirty bool
+
 	// members lists every registration index owned by this shard, in
 	// ascending order; relaxed-epoch passes rebuild the per-cycle list
 	// from it (see runEpochPass).
@@ -124,14 +150,16 @@ type shardCtx struct {
 	epochK   int
 	epochOff uint64
 
-	// staged side effects, merged at the barrier.
+	// staged side effects (arenas: truncated at the barrier, capacity
+	// retained). epos/dpos are the fold cursors.
 	events    []stagedEvent
+	epos      int
 	defers    []stagedCall
 	dpos      int
 	busyDelta int
 
-	// worker plumbing.
-	work       chan struct{}
+	// worker plumbing (barrier.go).
+	sig        shardSignal
 	panicVal   any
 	panicStack []byte
 }
@@ -166,6 +194,7 @@ func (sc *shardCtx) wakeLocal(idx int, en *tickerEntry) {
 		return
 	}
 	en.active = true
+	sc.dirty = true
 	if idx > sc.current {
 		tail := sc.list[sc.lpos+1:]
 		pos := sc.lpos + 1 + sort.SearchInts(tail, idx)
@@ -202,6 +231,7 @@ func (sc *shardCtx) runPass() {
 		}
 		if !nowBusy && !en.pending {
 			en.active = false
+			sc.dirty = true
 		}
 	}
 	sc.current = -1
@@ -222,16 +252,6 @@ func (sc *shardCtx) safePass() {
 		return
 	}
 	sc.runPass()
-}
-
-// workerLoop takes the channel by value: stopWorkers replaces sc.work with
-// a fresh channel for the next run, and the retiring worker must not read
-// the field concurrently with that write.
-func (sc *shardCtx) workerLoop(work chan struct{}) {
-	for range work {
-		sc.safePass()
-		sc.e.workerWG.Done()
-	}
 }
 
 // ShardPanic wraps a panic raised inside a shard worker so the usual
@@ -257,7 +277,11 @@ func (e *Engine) SetParallel(n int) {
 	e.nShards = n
 	e.shards = make([]*shardCtx, n)
 	for s := range e.shards {
-		e.shards[s] = &shardCtx{e: e, shard: s, current: -1, work: make(chan struct{}, 1)}
+		e.shards[s] = &shardCtx{e: e, shard: s, current: -1}
+		e.shards[s].sig.wake = make(chan struct{}, 1)
+	}
+	if e.coordWake == nil {
+		e.coordWake = make(chan struct{}, 1)
 	}
 }
 
@@ -330,49 +354,26 @@ func (e *Engine) checkShardLayout() error {
 	return nil
 }
 
-func (e *Engine) startWorkers() {
-	if e.workersUp {
-		return
-	}
-	e.workersUp = true
-	for _, sc := range e.shards {
-		go sc.workerLoop(sc.work)
-	}
-}
-
-func (e *Engine) stopWorkers() {
-	if !e.workersUp {
-		return
-	}
-	e.workersUp = false
-	for _, sc := range e.shards {
-		close(sc.work)
-		// Fresh channel so a later RunCtx (next kernel) can restart.
-		sc.work = make(chan struct{}, 1)
-	}
-}
-
 // tickSharded is one simulated cycle in parallel mode; see the package
-// comment at the top of this file for the five phases.
+// comment at the top of this file for the five phases. It only runs with
+// workers up — on hosts without spare parallelism tickActive takes the
+// serial path instead (byte-identical by construction; see barrier.go).
 func (e *Engine) tickSharded() {
 	// Phase 1: serial head.
 	e.tickPos = 0
 	e.tickSerialRange(e.pLo - 1)
 	segStart := e.tickPos
 
-	// Phase 2: snapshot the active sharded segment, then run the drains
-	// (PreTick) serially in registration order. Schedule calls made by the
-	// drained-into modules (an analytical L2 backend computing a fill
-	// latency) are staged into preStage tagged with the draining entry's
-	// index, so the barrier can interleave them with the shard-staged
-	// events exactly as the serial engine would have.
+	// Phase 2: snapshot the active sharded segment (a contiguous run of
+	// segCount positions — engine.go maintains the count), then run the
+	// drains (PreTick) serially in registration order. Schedule calls made
+	// by the drained-into modules (an analytical L2 backend computing a
+	// fill latency) are staged into preStage tagged with the draining
+	// entry's index, so the barrier can interleave them with the
+	// shard-staged events exactly as the serial engine would have.
 	seg := e.segScratch[:0]
-	for pos := segStart; pos < len(e.active); pos++ {
-		idx := e.active[pos]
-		if idx > e.pHi {
-			break
-		}
-		seg = append(seg, idx)
+	for pos := segStart; pos < segStart+e.segCount; pos++ {
+		seg = append(seg, e.active[pos])
 	}
 	e.segScratch = seg
 	if len(seg) > 0 {
@@ -383,82 +384,15 @@ func (e *Engine) tickSharded() {
 				e.preIdx = idx
 				en.pre.PreTick(e.cycle)
 			}
-			sc := en.sctx
-			sc.list = append(sc.list, idx)
+			en.sctx.list = append(en.sctx.list, idx)
 		}
 		e.preStaging = false
 
-		// Phase 3: tick the shards. With a single shard holding work (or
-		// workers not yet started) the pass runs inline on the coordinator
-		// — still staged, so semantics are identical to the worker path.
-		nWork := 0
-		for _, sc := range e.shards {
-			if len(sc.list) > 0 {
-				nWork++
-			}
-		}
-		if nWork == 1 || !e.workersUp {
-			for _, sc := range e.shards {
-				if len(sc.list) > 0 {
-					sc.staging = true
-					sc.safePass()
-					sc.staging = false
-				}
-			}
-		} else {
-			for _, sc := range e.shards {
-				if len(sc.list) > 0 {
-					sc.staging = true
-				}
-			}
-			e.workerWG.Add(nWork)
-			for _, sc := range e.shards {
-				if len(sc.list) > 0 {
-					sc.work <- struct{}{}
-				}
-			}
-			e.workerWG.Wait()
-			for _, sc := range e.shards {
-				sc.staging = false
-			}
-		}
-		for _, sc := range e.shards {
-			if sc.panicVal != nil {
-				v, st := sc.panicVal, sc.panicStack
-				sc.panicVal, sc.panicStack = nil, nil
-				panic(&ShardPanic{Shard: sc.shard, Value: v, Stack: st})
-			}
-		}
+		// Phase 3: tick the shards (barrier.go).
+		e.dispatchShards(1)
 
-		// Phase 4: barrier. Rebuild the active segment in registration
-		// order from the entries' active flags, fold busy deltas, then
-		// flush staged events and defers in ascending (index, phase)
-		// order — reproducing the serial engine's sequence numbers.
-		segEnd := segStart
-		for segEnd < len(e.active) && e.active[segEnd] <= e.pHi {
-			segEnd++
-		}
-		seg = seg[:0]
-		for idx := e.pLo; idx <= e.pHi; idx++ {
-			if e.entries[idx].active {
-				seg = append(seg, idx)
-			}
-		}
-		e.segScratch = seg
-		na := e.activeScratch[:0]
-		na = append(na, e.active[:segStart]...)
-		na = append(na, seg...)
-		na = append(na, e.active[segEnd:]...)
-		e.activeScratch, e.active = e.active, na
-		e.tickPos = segStart + len(seg)
-
-		for _, sc := range e.shards {
-			e.busyCount += sc.busyDelta
-			sc.busyDelta = 0
-			sc.list = sc.list[:0]
-		}
-		e.flushStagedEvents()
-		e.flushStagedDefers()
+		// Phase 4: fused barrier fold.
+		e.foldBarrier(segStart)
 	}
 
 	// Phase 5: serial tail.
@@ -466,18 +400,118 @@ func (e *Engine) tickSharded() {
 	e.tickPos = -1
 }
 
+// foldBarrier is the exact-mode barrier: fold the shards' busy deltas,
+// and — when a pass changed active membership or staged side effects —
+// run one walk over the sharded registration range [pLo, pHi] that
+// simultaneously rebuilds the active segment and flushes the staged
+// queues in serial order.
+//
+// The walk replaces PR 5's k-way selection merge: in exact mode every
+// staged record carries the same capture cycle, so the merge key
+// (cycle, idx<<1|phase) reduces to ascending registration index with
+// phase 0 (pre-phase drains) before phase 1 (shard ticks) at the same
+// index. Each source queue is already in ascending-index FIFO order
+// (the pre-phase and the passes run in registration order), so advancing
+// one cursor per source while idx sweeps the range yields exactly the
+// serial sequence numbering at O(range + staged) instead of
+// O(sources × staged).
+//
+// Staged defers cannot run mid-walk — they execute with staging off and
+// may wake entries, which would mutate the active list under the rebuild
+// — so the walk collects them in order and runs them after the rebuild,
+// exactly where PR 5's flushStagedDefers ran.
+func (e *Engine) foldBarrier(segStart int) {
+	dirty, staged := false, len(e.preStage) > 0
+	for _, sc := range e.shards {
+		e.busyCount += sc.busyDelta
+		sc.busyDelta = 0
+		sc.list = sc.list[:0]
+		if sc.dirty {
+			dirty = true
+			sc.dirty = false
+		}
+		if len(sc.events) > 0 || len(sc.defers) > 0 {
+			staged = true
+		}
+	}
+	if !dirty && !staged {
+		// Clean cycle: the active segment is exactly what phase 2 saw and
+		// there is nothing to flush.
+		e.tickPos = segStart + e.segCount
+		return
+	}
+
+	pc := 0
+	deferred := e.deferScratch[:0]
+	seg := e.segScratch[:0]
+	for idx := e.pLo; idx <= e.pHi; idx++ {
+		for pc < len(e.preStage) && e.preStage[pc].idx == idx {
+			ev := &e.preStage[pc]
+			e.seq++
+			e.events.push(event{cycle: ev.cyc + ev.delay, seq: e.seq, fn: ev.fn})
+			ev.fn = nil
+			pc++
+		}
+		en := &e.entries[idx]
+		sc := en.sctx
+		for sc.epos < len(sc.events) && sc.events[sc.epos].idx == idx {
+			ev := &sc.events[sc.epos]
+			e.seq++
+			e.events.push(event{cycle: ev.cyc + ev.delay, seq: e.seq, fn: ev.fn})
+			ev.fn = nil
+			sc.epos++
+		}
+		for sc.dpos < len(sc.defers) && sc.defers[sc.dpos].idx == idx {
+			deferred = append(deferred, sc.defers[sc.dpos].fn)
+			sc.defers[sc.dpos].fn = nil
+			sc.dpos++
+		}
+		if en.active {
+			seg = append(seg, idx)
+		}
+	}
+	e.segScratch = seg
+
+	// Splice the rebuilt segment into the active list. segCount still
+	// holds the pre-pass segment length, so the old segment occupies
+	// [segStart, segStart+segCount).
+	segEnd := segStart + e.segCount
+	na := e.activeScratch[:0]
+	na = append(na, e.active[:segStart]...)
+	na = append(na, seg...)
+	na = append(na, e.active[segEnd:]...)
+	e.activeScratch, e.active = e.active, na
+	e.segCount = len(seg)
+	e.tickPos = segStart + len(seg)
+
+	e.preStage = e.preStage[:0]
+	for _, sc := range e.shards {
+		sc.events = sc.events[:0]
+		sc.epos = 0
+		sc.defers = sc.defers[:0]
+		sc.dpos = 0
+	}
+	// Defers run with staging off: anything they do (wake the block
+	// scheduler, emit a trace event, schedule) applies directly on the
+	// coordinator, against the rebuilt active list.
+	for i, fn := range deferred {
+		deferred[i] = nil
+		fn()
+	}
+	e.deferScratch = deferred[:0]
+}
+
 // flushStagedEvents merges preStage (phase 0: drain-time events) and the
 // per-shard event queues (phase 1: tick-time events) by ascending
 // (capture cycle, registration index, phase), assigning sequence numbers
 // as it goes. Each source queue is already sorted by that key (passes run
 // cycle by cycle in registration order), so this is a k-way merge over
-// k = nShards+1 cursors. In exact mode every staged entry carries the same
-// capture cycle, so the (cycle, seq) order is exactly what a serial pass —
-// drain then tick, entry by entry — would have produced; in relaxed-epoch
-// mode the key additionally orders staged work across the local cycles of
-// one epoch. An event fires at its capture cycle plus its delay, which in
-// an epoch may lie in the barrier's past; the heap-push still works, and
-// the run loop fires it at the next event phase — late, never early.
+// k = nShards+1 cursors. Only the relaxed-epoch barrier uses it — staged
+// cycles differ across an epoch's local cycles, so the single-walk fold
+// of exact mode does not apply. An event fires at its capture cycle plus
+// its delay, which in an epoch may lie in the barrier's past; the
+// heap-push still works, and the run loop fires it at the next event
+// phase — late, never early.
 func (e *Engine) flushStagedEvents() {
 	nSrc := len(e.shards) + 1
 	if cap(e.mergeCur) < nSrc {
@@ -533,7 +567,8 @@ func (e *Engine) flushStagedEvents() {
 // module) — again the serial execution order, extended across the local
 // cycles of a relaxed epoch. The calls run with staging off, so anything
 // they do (wake the block scheduler, emit a trace event, schedule) applies
-// directly on the coordinator.
+// directly on the coordinator. Exact mode folds its defers in foldBarrier
+// instead.
 func (e *Engine) flushStagedDefers() {
 	for {
 		best := -1

@@ -28,9 +28,14 @@ type shardSM struct {
 	sibling *shardSM // same-shard neighbor woken directly during ticks
 }
 
-func (s *shardSM) Name() string        { return s.name }
-func (s *shardSM) Kind() ModelKind     { return CycleAccurate }
-func (s *shardSM) Busy() bool          { return s.work > 0 }
+func (s *shardSM) Name() string    { return s.name }
+func (s *shardSM) Kind() ModelKind { return CycleAccurate }
+
+// Busy includes undrained downstream pushes, per the PreTicker contract:
+// a module holding work for its next PreTick must stay active so the
+// pre-phase visits it (real cache models are Busy while their miss
+// queues are non-empty for the same reason).
+func (s *shardSM) Busy() bool          { return s.work > 0 || s.pending > 0 }
 func (s *shardSM) SetWake(wake func()) { s.wake = wake }
 
 func (s *shardSM) give(n int) {
@@ -107,6 +112,10 @@ func newParallelFixture(nSMs, nShards, sibStep int) *parallelFixture {
 	f.down = &wakeTicker{name: "downstream"}
 	if nShards > 1 {
 		e.SetParallel(nShards)
+		// Keep the staged worker path under test even when the host has a
+		// single proc (where RunCtx would otherwise take the serial
+		// fallback).
+		e.forceWorkers = true
 	}
 	e.Register(f.coll)
 	for i := 0; i < nSMs; i++ {
@@ -216,6 +225,7 @@ func TestParallelWakeDeferral(t *testing.T) {
 func TestShardPanicPropagates(t *testing.T) {
 	e := New()
 	e.SetParallel(2)
+	e.forceWorkers = true
 	e.Register(&wakeTicker{name: "head"})
 	boom := &wakeTicker{name: "boom", work: 10}
 	boom.onTick = func(cycle uint64) {
@@ -303,6 +313,7 @@ func TestParallelSameCycleWakeVisibility(t *testing.T) {
 		e := New()
 		if nShards > 1 {
 			e.SetParallel(nShards)
+			e.forceWorkers = true
 		}
 		e.Register(&wakeTicker{name: "head"})
 		up = &wakeTicker{name: "up"}

@@ -1,0 +1,60 @@
+package regress
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"swiftsim/internal/sim"
+	"swiftsim/internal/workload"
+)
+
+// TestEngineThreadsForcedWorkers pins the *staged* parallel path — worker
+// goroutines, barrier, staged-event fold — against the serial engine on
+// every host. On a single-proc machine the engine's exact mode falls back
+// to the plain serial tick (no speedup is available, so no staging cost
+// is paid), which would leave the worker path untested by the plain
+// EngineThreads sweep; raising GOMAXPROCS for the duration re-engages it.
+// GOMAXPROCS is deliberately allowed to exceed the physical core count:
+// correctness must not depend on the scheduler ever running two workers
+// at once.
+func TestEngineThreadsForcedWorkers(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	if prev < 2 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	gpu := DefaultCorpus().GPUs[0]
+	cases := []struct {
+		kind sim.Kind
+		app  string
+	}{
+		{sim.Basic, "GEMM"},
+		{sim.L2Hybrid, "BFS"},
+		{sim.Detailed, "HOTSPOT"},
+	}
+	if testing.Short() {
+		cases = cases[:1]
+	}
+	for _, c := range cases {
+		app, err := workload.Generate(c.app, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := sim.Run(app, gpu, sim.Options{Kind: c.kind})
+		if err != nil {
+			t.Fatalf("%s/%s serial: %v", c.kind, c.app, err)
+		}
+		want := Canonical(base)
+		for _, threads := range []int{2, 4} {
+			res, err := sim.Run(app, gpu, sim.Options{Kind: c.kind, EngineThreads: threads})
+			if err != nil {
+				t.Fatalf("%s/%s EngineThreads=%d: %v", c.kind, c.app, threads, err)
+			}
+			if got := Canonical(res); !bytes.Equal(want, got) {
+				t.Errorf("%s/%s: EngineThreads=%d (workers forced) diverged from serial:\n%s",
+					c.kind, c.app, threads, DiffLines(want, got, 20))
+			}
+		}
+	}
+}

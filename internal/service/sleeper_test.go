@@ -1,0 +1,61 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestSleeperFullDelay: an uncanceled sleep runs its whole delay and
+// reports completion, and the same sleeper is reusable for the next
+// attempt.
+func TestSleeperFullDelay(t *testing.T) {
+	var s sleeper
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if !s.sleep(ctx, 10*time.Millisecond) {
+			t.Fatalf("attempt %d: full sleep reported canceled", i)
+		}
+		if d := time.Since(start); d < 10*time.Millisecond {
+			t.Fatalf("attempt %d: returned after %v, want >= 10ms", i, d)
+		}
+	}
+}
+
+// TestSleeperCancel: a context canceled mid-sleep returns false promptly,
+// and — the part the classic timer semantics make easy to get wrong — the
+// sleeper must still run the *full* delay on its next use: a stale fired
+// token left in the timer channel would make the next sleep return
+// immediately, collapsing the retry backoff into a hot loop.
+func TestSleeperCancel(t *testing.T) {
+	var s sleeper
+	cctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	if s.sleep(cctx, time.Hour) {
+		t.Fatal("canceled sleep reported the full delay elapsed")
+	}
+	start := time.Now()
+	if !s.sleep(context.Background(), 20*time.Millisecond) {
+		t.Fatal("sleep after cancel reported canceled")
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("sleep after cancel returned after %v, want >= 20ms (stale timer token?)", d)
+	}
+}
+
+// TestSleeperAlreadyCanceled: a context that is already done never
+// reports a completed delay, even across repeated calls on one sleeper.
+func TestSleeperAlreadyCanceled(t *testing.T) {
+	var s sleeper
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 3; i++ {
+		if s.sleep(ctx, time.Hour) {
+			t.Fatalf("attempt %d: sleep on a done context reported completion", i)
+		}
+	}
+}

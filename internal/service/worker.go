@@ -144,6 +144,7 @@ func (w *Worker) Run(ctx context.Context) error {
 // register obtains a worker id and the lease cadence, retrying
 // transport errors until ctx expires.
 func (w *Worker) register(ctx context.Context) error {
+	var retry sleeper
 	for {
 		var resp struct {
 			ID         string `json:"id"`
@@ -167,10 +168,8 @@ func (w *Worker) register(ctx context.Context) error {
 			// The daemon answered and said no: not a transient condition.
 			return fmt.Errorf("service: worker registration rejected: HTTP %d", code)
 		}
-		select {
-		case <-ctx.Done():
+		if !retry.sleep(ctx, backoff()) {
 			return fmt.Errorf("service: worker registration: %w (last error: %v)", ctx.Err(), err)
-		case <-time.After(backoff()):
 		}
 	}
 }
@@ -179,6 +178,37 @@ func (w *Worker) register(ctx context.Context) error {
 // its daemon from reconnecting in lockstep.
 func backoff() time.Duration {
 	return 250*time.Millisecond + time.Duration(rand.IntN(500))*time.Millisecond
+}
+
+// sleeper is a reusable context-aware delay for retry loops. time.After
+// allocates a fresh timer per attempt and keeps it live in the runtime
+// until it fires even after the select has moved on — a worker whose
+// daemon is down retries for the whole outage, churning timers the
+// whole time. One sleeper per loop reuses a single timer instead.
+type sleeper struct {
+	t *time.Timer
+}
+
+// sleep waits for d or until ctx is done, reporting whether the full
+// delay elapsed (false = canceled). Under this module's pre-1.23 timer
+// semantics the cancel path must Stop the timer and drain the fired
+// token if Stop lost the race, or the next Reset would return
+// immediately off the stale token.
+func (s *sleeper) sleep(ctx context.Context, d time.Duration) bool {
+	if s.t == nil {
+		s.t = time.NewTimer(d)
+	} else {
+		s.t.Reset(d)
+	}
+	select {
+	case <-s.t.C:
+		return true
+	case <-ctx.Done():
+		if !s.t.Stop() {
+			<-s.t.C
+		}
+		return false
+	}
 }
 
 // heartbeatLoop renews the worker's active leases on the daemon's
@@ -222,13 +252,12 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 
 // claimLoop long-polls for jobs and executes them one at a time.
 func (w *Worker) claimLoop(ctx context.Context) {
+	var retry sleeper
 	for ctx.Err() == nil {
 		job, ok, err := w.claim(ctx)
 		if err != nil {
-			select {
-			case <-ctx.Done():
+			if !retry.sleep(ctx, backoff()) {
 				return
-			case <-time.After(backoff()):
 			}
 			continue
 		}
